@@ -1,0 +1,152 @@
+// Command msquery inspects an MS complex block file produced by cmd/msc
+// and runs the interactive-style analysis queries of the paper's Figure
+// 1 against it: structure statistics, feature extraction above a value
+// threshold, and the persistence curve.
+//
+// Usage:
+//
+//	msquery -in jet.msc                     # index + per-block stats
+//	msquery -in jet.msc -threshold 0.8      # extract ridge features
+//	msquery -in jet.msc -curve              # persistence curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"parms/internal/analysis"
+	"parms/internal/export"
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/mscomplex"
+	"parms/internal/pario"
+)
+
+func main() {
+	in := flag.String("in", "", "input .msc file (required)")
+	threshold := flag.Float64("threshold", math.NaN(), "extract 2-saddle–maximum features above this value")
+	curve := flag.Bool("curve", false, "print the persistence curve of each block")
+	globalSimplify := flag.Float64("globalsimplify", math.NaN(),
+		"glue all blocks and simplify globally at this absolute persistence (the paper's future work)")
+	jsonOut := flag.String("json", "", "export blocks as JSON to this file (requires -dims)")
+	objOut := flag.String("obj", "", "export the 1-skeleton as Wavefront OBJ to this file (requires -dims)")
+	dimsFlag := flag.String("dims", "", "original volume dims XxYxZ, needed by -json/-obj")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "msquery: -in is required")
+		os.Exit(2)
+	}
+	fs := mpsim.NewFS()
+	if err := fs.Import(*in, "in.msc"); err != nil {
+		fatalf("%v", err)
+	}
+	idx, err := pario.ReadIndex(fs, "in.msc")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s: %d complex block(s)\n", *in, len(idx))
+
+	var loaded []*mscomplex.Complex
+	for _, entry := range idx {
+		ms, err := pario.LoadComplex(fs, "in.msc", entry)
+		if err != nil {
+			fatalf("block %d: %v", entry.BlockID, err)
+		}
+		describe(entry, ms)
+		if !math.IsNaN(*threshold) {
+			extract(ms, float32(*threshold))
+		}
+		if *curve {
+			printCurve(ms)
+		}
+		loaded = append(loaded, ms)
+	}
+
+	if !math.IsNaN(*globalSimplify) {
+		before := 0
+		for _, ms := range loaded {
+			before += ms.NumAliveNodes()
+		}
+		global := analysis.MergeAll(loaded, float32(*globalSimplify))
+		nodes, arcs := global.AliveCounts()
+		fmt.Printf("\nglobal simplification at persistence %g:\n", *globalSimplify)
+		fmt.Printf("  %d nodes across %d blocks -> %d nodes, %d arcs, %d bytes\n",
+			before, len(idx), global.NumAliveNodes(), arcs, global.SerializedSize())
+		fmt.Printf("  nodes by index: %v\n", nodes)
+		loaded = []*mscomplex.Complex{global}
+	}
+
+	if *jsonOut != "" || *objOut != "" {
+		if *dimsFlag == "" {
+			fatalf("-json/-obj need -dims of the original volume")
+		}
+		var dims grid.Dims
+		if _, err := fmt.Sscanf(*dimsFlag, "%dx%dx%d", &dims[0], &dims[1], &dims[2]); err != nil {
+			fatalf("bad -dims %q: %v", *dimsFlag, err)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, ms := range loaded {
+				if err := export.WriteJSON(f, ms, dims, export.JSONOptions{Geometry: true, Hierarchy: true}); err != nil {
+					fatalf("json export: %v", err)
+				}
+			}
+			f.Close()
+			fmt.Printf("\nwrote JSON export to %s\n", *jsonOut)
+		}
+		if *objOut != "" {
+			f, err := os.Create(*objOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, ms := range loaded {
+				if err := export.WriteOBJ(f, ms, dims); err != nil {
+					fatalf("obj export: %v", err)
+				}
+			}
+			f.Close()
+			fmt.Printf("wrote OBJ export to %s\n", *objOut)
+		}
+	}
+}
+
+func describe(entry pario.IndexEntry, ms *mscomplex.Complex) {
+	nodes, arcs := ms.AliveCounts()
+	fmt.Printf("\nblock %d: offset %d, %d bytes, region of %d input block(s)\n",
+		entry.BlockID, entry.Offset, entry.Size, len(entry.Region))
+	fmt.Printf("  nodes: %d minima, %d 1-saddles, %d 2-saddles, %d maxima (Euler %d)\n",
+		nodes[0], nodes[1], nodes[2], nodes[3], ms.EulerCharacteristic())
+	lengths := analysis.ArcLengths(ms)
+	fmt.Printf("  arcs:  %d, geometry length min %d / mean %.1f / max %d cells\n",
+		arcs, lengths.Min, lengths.Mean, lengths.Max)
+}
+
+func extract(ms *mscomplex.Complex, cut float32) {
+	sg := analysis.Extract(ms, analysis.And(
+		analysis.ByEndpointIndices(2, 3), analysis.ByMinValue(cut)))
+	fmt.Printf("  features ≥ %g: %d arcs over %d nodes, %d component(s), %d cycle(s), total length %d cells\n",
+		cut, sg.Arcs, sg.Nodes, sg.Components, sg.Cycles, sg.TotalLength)
+	fmt.Printf("  maxima ≥ %g: %d\n", cut, analysis.CountNodes(ms, 3, cut))
+}
+
+func printCurve(ms *mscomplex.Complex) {
+	curve := analysis.PersistenceCurve(ms)
+	fmt.Printf("  persistence curve (%d points):\n", len(curve))
+	step := len(curve)/16 + 1
+	for i := 0; i < len(curve); i += step {
+		fmt.Printf("    threshold %-12g -> %d nodes\n", curve[i].Threshold, curve[i].Nodes)
+	}
+	last := curve[len(curve)-1]
+	fmt.Printf("    threshold %-12g -> %d nodes (final)\n", last.Threshold, last.Nodes)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "msquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package parms_test
+
+import (
+	"fmt"
+	"log"
+
+	"parms"
+)
+
+// ExampleCompute runs the two-stage parallel algorithm on a small
+// synthetic field and prints the critical point census of the fully
+// merged complex.
+func ExampleCompute() {
+	vol := parms.Sinusoid(17, 2)
+	res, err := parms.Compute(vol, parms.Options{
+		Procs:       8,
+		FullMerge:   true,
+		Persistence: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms := res.Merged()
+	nodes, _ := ms.AliveCounts()
+	fmt.Printf("minima=%d saddles=%d+%d maxima=%d euler=%d output_blocks=%d\n",
+		nodes[0], nodes[1], nodes[2], nodes[3], ms.EulerCharacteristic(), res.OutputBlocks)
+	// Output:
+	// minima=4 saddles=3+4 maxima=4 euler=1 output_blocks=1
+}
+
+// ExampleComputeSerial computes the serial baseline the parallel
+// algorithm is validated against.
+func ExampleComputeSerial() {
+	ms := parms.ComputeSerial(parms.Sinusoid(17, 2), 0.15)
+	nodes, _ := ms.AliveCounts()
+	fmt.Printf("serial census: %v\n", nodes)
+	// Output:
+	// serial census: [4 3 4 4]
+}
+
+// ExampleExtract runs a Figure 1 style interactive query: the
+// ridge-line subgraph above a function-value threshold.
+func ExampleExtract() {
+	ms := parms.ComputeSerial(parms.Sinusoid(17, 2), 0.15)
+	sg := parms.Extract(ms, parms.FilterAnd(
+		parms.ByEndpointIndices(2, 3),
+		parms.ByMinValue(0),
+	))
+	fmt.Printf("ridge arcs=%d components=%d cycles=%d\n", sg.Arcs, sg.Components, sg.Cycles)
+	// Output:
+	// ridge arcs=4 components=4 cycles=0
+}
+
+// ExampleFullMergeRadices shows the paper's recommended merge schedules.
+func ExampleFullMergeRadices() {
+	fmt.Println(parms.FullMergeRadices(256))
+	fmt.Println(parms.FullMergeRadices(2048))
+	fmt.Println(parms.FullMergeRadices(8192))
+	// Output:
+	// [4 8 8]
+	// [4 8 8 8]
+	// [2 8 8 8 8]
+}

@@ -1,0 +1,96 @@
+// In-situ analysis: the paper's future-work plan (section VII-B) was to
+// embed the parallel MS complex computation inside the S3D combustion
+// code and analyze each timestep as it is produced, without writing raw
+// data to storage. This example simulates that coupling: a toy
+// time-evolving "simulation" produces its domain partition block by
+// block in memory, and every few steps the analysis runs directly on
+// the resident blocks (no read stage), tracking how feature counts
+// evolve over time.
+//
+//	go run ./examples/insitu
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"parms"
+)
+
+// simulation is a toy time-dependent field: a pair of merging Gaussian
+// blobs orbiting each other over a slowly decaying turbulent background.
+// At early times the field has many small features; as the blobs merge
+// the persistent structure simplifies — the kind of evolution an in-situ
+// analysis is meant to track cheaply.
+type simulation struct {
+	n    int
+	time float64
+}
+
+// sample evaluates the field at a vertex, at the simulation's current
+// time. A real coupling would hand over the solver's state arrays; here
+// the field is analytic so every block can be produced independently,
+// exactly like a domain-partitioned solver.
+func (s *simulation) sample(x, y, z int) float32 {
+	nx := float64(x) / float64(s.n-1)
+	ny := float64(y) / float64(s.n-1)
+	nz := float64(z) / float64(s.n-1)
+	// Two blobs orbiting and approaching each other.
+	sep := 0.28 * (1 - s.time)
+	angle := 2 * math.Pi * s.time
+	cx1, cy1 := 0.5+sep*math.Cos(angle), 0.5+sep*math.Sin(angle)
+	cx2, cy2 := 0.5-sep*math.Cos(angle), 0.5-sep*math.Sin(angle)
+	blob := func(cx, cy float64) float64 {
+		dx, dy, dz := nx-cx, ny-cy, nz-0.5
+		return math.Exp(-(dx*dx + dy*dy + dz*dz) / (2 * 0.05))
+	}
+	// Decaying small-scale structure.
+	turb := (1 - 0.8*s.time) * 0.25 *
+		math.Sin(14*math.Pi*nx) * math.Sin(14*math.Pi*ny) * math.Sin(14*math.Pi*nz)
+	return float32(blob(cx1, cy1) + blob(cx2, cy2) + turb)
+}
+
+// produceBlock fills one decomposition block, as the solver would for
+// its local partition.
+func (s *simulation) produceBlock(lo, hi [3]int) *parms.Volume {
+	v := parms.NewVolume(parms.Dims{hi[0] - lo[0] + 1, hi[1] - lo[1] + 1, hi[2] - lo[2] + 1})
+	for z := lo[2]; z <= hi[2]; z++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for x := lo[0]; x <= hi[0]; x++ {
+				v.Set(x-lo[0], y-lo[1], z-lo[2], s.sample(x, y, z))
+			}
+		}
+	}
+	return v
+}
+
+func main() {
+	const n = 49
+	sim := &simulation{n: n}
+	dims := parms.Dims{n, n, n}
+
+	fmt.Println("in-situ MS complex analysis of a time-evolving simulation")
+	fmt.Printf("%-8s %-8s %-8s %-10s %-12s %-14s\n",
+		"step", "time", "maxima", "features", "arcs", "analysis(s)")
+	for step := 0; step <= 8; step += 2 {
+		sim.time = float64(step) / 8
+		res, err := parms.ComputeInSitu(dims, sim.produceBlock, -0.5, 2.2, parms.Options{
+			Procs:       8,
+			FullMerge:   true,
+			Persistence: 0.02,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := res.Merged()
+		nodes, arcs := ms.AliveCounts()
+		// "Features": maxima strong enough to be blobs rather than
+		// turbulence.
+		strong := parms.CountNodes(ms, 3, 0.6)
+		fmt.Printf("%-8d %-8.2f %-8d %-10d %-12d %-14.3f\n",
+			step, sim.time, nodes[3], strong, arcs, res.Times.Total)
+	}
+	fmt.Println("\nno raw volume was written at any step: the complex (a few")
+	fmt.Println("kilobytes) is the only artifact, as in the paper's in-situ plan.")
+}

@@ -1,0 +1,242 @@
+// Package analysis implements the post-hoc queries the paper's Figure 1
+// pipeline runs against a computed MS complex: threshold-based feature
+// extraction, arc filtering by type and value, connected components and
+// cycle counts of extracted subgraphs, and persistence curves for
+// parameter studies. All queries operate on the 1-skeleton graph alone,
+// never on the original volume — the point of the MS-complex pipeline is
+// that interactive exploration needs only this far smaller structure.
+package analysis
+
+import (
+	"sort"
+
+	"parms/internal/grid"
+	"parms/internal/mscomplex"
+)
+
+// ArcFilter selects arcs of a complex.
+type ArcFilter func(c *mscomplex.Complex, a mscomplex.ArcID) bool
+
+// ByEndpointIndices selects arcs connecting nodes of the given Morse
+// indices (lower, upper), e.g. (2, 3) for the 2-saddle–maximum
+// "ridge-line" arcs that trace filament structures.
+func ByEndpointIndices(lower, upper uint8) ArcFilter {
+	return func(c *mscomplex.Complex, a mscomplex.ArcID) bool {
+		arc := &c.Arcs[a]
+		return c.Nodes[arc.Lower].Index == lower && c.Nodes[arc.Upper].Index == upper
+	}
+}
+
+// ByMinValue selects arcs whose endpoints both have function value at
+// least v (the interactive threshold slider of Figure 1).
+func ByMinValue(v float32) ArcFilter {
+	return func(c *mscomplex.Complex, a mscomplex.ArcID) bool {
+		arc := &c.Arcs[a]
+		return c.Nodes[arc.Lower].Value >= v && c.Nodes[arc.Upper].Value >= v
+	}
+}
+
+// And combines filters conjunctively.
+func And(filters ...ArcFilter) ArcFilter {
+	return func(c *mscomplex.Complex, a mscomplex.ArcID) bool {
+		for _, f := range filters {
+			if !f(c, a) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// SelectArcs returns the alive arcs passing the filter.
+func SelectArcs(c *mscomplex.Complex, filter ArcFilter) []mscomplex.ArcID {
+	var out []mscomplex.ArcID
+	for a := range c.Arcs {
+		if !c.Arcs[a].Alive {
+			continue
+		}
+		if filter == nil || filter(c, mscomplex.ArcID(a)) {
+			out = append(out, mscomplex.ArcID(a))
+		}
+	}
+	return out
+}
+
+// Subgraph summarizes an extracted feature subgraph.
+type Subgraph struct {
+	Nodes      int
+	Arcs       int
+	Components int
+	// Cycles is the first Betti number of the subgraph:
+	// arcs - nodes + components.
+	Cycles int
+	// TotalLength is the summed geometric length (in cells) of the
+	// selected arcs.
+	TotalLength int64
+}
+
+// Extract builds the subgraph summary of the arcs passing the filter —
+// the statistics panel of Figure 1 (component count, cycle count,
+// filament length).
+func Extract(c *mscomplex.Complex, filter ArcFilter) Subgraph {
+	arcs := SelectArcs(c, filter)
+	parent := make(map[mscomplex.NodeID]mscomplex.NodeID)
+	var find func(x mscomplex.NodeID) mscomplex.NodeID
+	find = func(x mscomplex.NodeID) mscomplex.NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	touch := func(x mscomplex.NodeID) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	var total int64
+	for _, a := range arcs {
+		arc := &c.Arcs[a]
+		touch(arc.Upper)
+		touch(arc.Lower)
+		ru, rl := find(arc.Upper), find(arc.Lower)
+		if ru != rl {
+			parent[ru] = rl
+		}
+		total += int64(c.GeomLen(arc.Geom))
+	}
+	components := 0
+	for n := range parent {
+		if find(n) == n {
+			components++
+		}
+	}
+	return Subgraph{
+		Nodes:       len(parent),
+		Arcs:        len(arcs),
+		Components:  components,
+		Cycles:      len(arcs) - len(parent) + components,
+		TotalLength: total,
+	}
+}
+
+// CountNodes returns the number of alive nodes with the given Morse
+// index and value at least minValue — e.g. the paper's Figure 4 feature
+// query "nodes with value greater than 14.5".
+func CountNodes(c *mscomplex.Complex, index uint8, minValue float32) int {
+	n := 0
+	for i := range c.Nodes {
+		node := &c.Nodes[i]
+		if node.Alive && node.Index == index && node.Value >= minValue {
+			n++
+		}
+	}
+	return n
+}
+
+// PersistencePoint is one step of a persistence curve.
+type PersistencePoint struct {
+	Threshold float32
+	Nodes     int
+}
+
+// PersistenceCurve returns the number of surviving nodes as a function
+// of simplification threshold, reconstructed from the complex's
+// cancellation hierarchy. The curve starts at the unsimplified node
+// count (threshold 0) and loses two nodes per recorded cancellation.
+// It is the multi-resolution summary scientists use to pick thresholds
+// without recomputing anything.
+func PersistenceCurve(c *mscomplex.Complex) []PersistencePoint {
+	pers := make([]float32, 0, len(c.Hierarchy))
+	for _, h := range c.Hierarchy {
+		pers = append(pers, h.Persistence)
+	}
+	sort.Slice(pers, func(i, j int) bool { return pers[i] < pers[j] })
+	alive := c.NumAliveNodes() + 2*len(pers)
+	curve := []PersistencePoint{{Threshold: 0, Nodes: alive}}
+	for _, p := range pers {
+		alive -= 2
+		curve = append(curve, PersistencePoint{Threshold: p, Nodes: alive})
+	}
+	return curve
+}
+
+// ArcLengthStats reports min, max and mean geometric arc length over
+// alive arcs.
+type ArcLengthStats struct {
+	Count int
+	Min   int
+	Max   int
+	Mean  float64
+}
+
+// ArcLengths computes geometric length statistics of the alive arcs,
+// which the paper uses to argue the O(n^{1/3}) geometry storage cost.
+func ArcLengths(c *mscomplex.Complex) ArcLengthStats {
+	var s ArcLengthStats
+	var total int64
+	for a := range c.Arcs {
+		if !c.Arcs[a].Alive {
+			continue
+		}
+		l := c.GeomLen(c.Arcs[a].Geom)
+		if s.Count == 0 || l < s.Min {
+			s.Min = l
+		}
+		if l > s.Max {
+			s.Max = l
+		}
+		total += int64(l)
+		s.Count++
+	}
+	if s.Count > 0 {
+		s.Mean = float64(total) / float64(s.Count)
+	}
+	return s
+}
+
+// MergeAll glues a set of complexes (e.g. the blocks of a partially
+// merged output file) into one and applies global persistence
+// simplification at the given threshold — the paper's future-work item
+// (section VII-B): once every block is part of one region there are no
+// protected boundary nodes left, so the output can be simplified all the
+// way down and shrinks accordingly. The input complexes are consumed.
+func MergeAll(blocks []*mscomplex.Complex, threshold float32) *mscomplex.Complex {
+	if len(blocks) == 0 {
+		return nil
+	}
+	root := blocks[0]
+	for _, other := range blocks[1:] {
+		root.Glue(other)
+	}
+	root.Simplify(mscomplex.SimplifyOptions{Threshold: threshold})
+	return root.Compact()
+}
+
+// PersistencePair is one finite birth-death pair of the persistence
+// diagram, reconstructed from the cancellation hierarchy: the cancelled
+// pair's lower critical point is born at its value and the feature dies
+// at the upper critical point's value.
+type PersistencePair struct {
+	Birth, Death float32
+	// Dim is the Morse index of the lower (born) critical point.
+	Dim uint8
+}
+
+// PersistenceDiagram extracts the finite birth-death pairs recorded by
+// the complex's simplification history — the standard summary of
+// topological data analysis, here obtained for free from the hierarchy
+// the pipeline already maintains. Surviving features are essential
+// ("infinite") and not listed; pairs appear in cancellation order,
+// which is nondecreasing persistence.
+func PersistenceDiagram(c *mscomplex.Complex, space grid.AddrSpace) []PersistencePair {
+	pairs := make([]PersistencePair, 0, len(c.Hierarchy))
+	for _, h := range c.Hierarchy {
+		pairs = append(pairs, PersistencePair{
+			Birth: h.LowerValue,
+			Death: h.UpperValue,
+			Dim:   uint8(space.Dim(h.LowerCell)),
+		})
+	}
+	return pairs
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"testing"
+
+	"parms/internal/grid"
+	"parms/internal/mscomplex"
+	"parms/internal/serial"
+	"parms/internal/synth"
+)
+
+func testComplex(t *testing.T) *mscomplex.Complex {
+	t.Helper()
+	return serial.Compute(synth.Sinusoid(17, 2), 0.1)
+}
+
+func TestSelectArcsFilters(t *testing.T) {
+	ms := testComplex(t)
+	all := SelectArcs(ms, nil)
+	if len(all) == 0 {
+		t.Fatal("no arcs")
+	}
+	ridge := SelectArcs(ms, ByEndpointIndices(2, 3))
+	for _, a := range ridge {
+		arc := &ms.Arcs[a]
+		if ms.Nodes[arc.Lower].Index != 2 || ms.Nodes[arc.Upper].Index != 3 {
+			t.Fatal("filter returned wrong arc type")
+		}
+	}
+	if len(ridge) == 0 || len(ridge) >= len(all) {
+		t.Fatalf("ridge arcs %d of %d", len(ridge), len(all))
+	}
+	high := SelectArcs(ms, And(ByEndpointIndices(2, 3), ByMinValue(0.5)))
+	if len(high) > len(ridge) {
+		t.Fatal("conjunction grew the selection")
+	}
+	for _, a := range high {
+		if ms.Nodes[ms.Arcs[a].Lower].Value < 0.5 {
+			t.Fatal("value filter leaked")
+		}
+	}
+}
+
+func TestExtractSubgraph(t *testing.T) {
+	ms := testComplex(t)
+	sg := Extract(ms, ByEndpointIndices(2, 3))
+	if sg.Arcs == 0 || sg.Nodes == 0 {
+		t.Fatalf("empty subgraph %+v", sg)
+	}
+	if sg.Components < 1 || sg.Components > sg.Nodes {
+		t.Fatalf("bad component count %+v", sg)
+	}
+	if sg.Cycles != sg.Arcs-sg.Nodes+sg.Components {
+		t.Fatalf("cycle identity violated %+v", sg)
+	}
+	if sg.Cycles < 0 {
+		t.Fatalf("negative cycles %+v", sg)
+	}
+	if sg.TotalLength <= 0 {
+		t.Fatalf("no geometry length %+v", sg)
+	}
+	// The empty filter: nothing selected.
+	empty := Extract(ms, func(*mscomplex.Complex, mscomplex.ArcID) bool { return false })
+	if empty.Arcs != 0 || empty.Nodes != 0 || empty.Components != 0 || empty.Cycles != 0 {
+		t.Fatalf("empty extract %+v", empty)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	ms := testComplex(t)
+	allMaxima := CountNodes(ms, 3, -2)
+	someMaxima := CountNodes(ms, 3, 0.9)
+	if allMaxima == 0 {
+		t.Fatal("no maxima")
+	}
+	if someMaxima > allMaxima {
+		t.Fatal("threshold grew the count")
+	}
+}
+
+func TestPersistenceCurve(t *testing.T) {
+	ms := testComplex(t)
+	curve := PersistenceCurve(ms)
+	if len(curve) < 2 {
+		t.Fatalf("degenerate curve (%d points): was anything cancelled?", len(curve))
+	}
+	if curve[0].Threshold != 0 {
+		t.Fatal("curve does not start at threshold 0")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Threshold < curve[i-1].Threshold {
+			t.Fatal("thresholds not sorted")
+		}
+		if curve[i].Nodes != curve[i-1].Nodes-2 {
+			t.Fatal("each cancellation must remove exactly two nodes")
+		}
+	}
+	if last := curve[len(curve)-1]; last.Nodes != ms.NumAliveNodes() {
+		t.Fatalf("curve ends at %d nodes, complex has %d", last.Nodes, ms.NumAliveNodes())
+	}
+}
+
+func TestArcLengths(t *testing.T) {
+	ms := testComplex(t)
+	s := ArcLengths(ms)
+	if s.Count == 0 || s.Min < 2 || s.Max < s.Min || s.Mean < float64(s.Min) || s.Mean > float64(s.Max) {
+		t.Fatalf("bad stats %+v", s)
+	}
+}
+
+func TestGeometryScalingWithDataSize(t *testing.T) {
+	// The paper's section V-B: arc geometry length grows like one side
+	// of the dataset (n^{1/3} for n samples).
+	small := ArcLengths(serial.Compute(synth.Sinusoid(13, 2), 0.1))
+	big := ArcLengths(serial.Compute(synth.Sinusoid(25, 2), 0.1))
+	if big.Mean <= small.Mean {
+		t.Fatalf("mean arc length did not grow with data side: %v vs %v", small.Mean, big.Mean)
+	}
+	_ = grid.Dims{}
+}
+
+func TestPersistenceDiagram(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	ms := serial.Compute(vol, 0.15)
+	space := grid.NewAddrSpace(vol.Dims)
+	diagram := PersistenceDiagram(ms, space)
+	if len(diagram) != len(ms.Hierarchy) {
+		t.Fatalf("%d pairs, %d cancellations", len(diagram), len(ms.Hierarchy))
+	}
+	if len(diagram) == 0 {
+		t.Fatal("empty diagram")
+	}
+	for i, p := range diagram {
+		if p.Death < p.Birth {
+			// The cancelled pair's persistence is |upper - lower|; for
+			// saddle-maximum pairs the "death" (upper) always exceeds
+			// the lower value since cell values are max-of-vertices
+			// along an ascending arc... except the discrete setting
+			// allows upper < lower in rare plateau cases; persistence
+			// must still match the recorded magnitude.
+			if ms.Hierarchy[i].Persistence != p.Birth-p.Death {
+				t.Fatalf("pair %d: persistence %g does not match |%g - %g|",
+					i, ms.Hierarchy[i].Persistence, p.Birth, p.Death)
+			}
+			continue
+		}
+		if ms.Hierarchy[i].Persistence != p.Death-p.Birth {
+			t.Fatalf("pair %d: persistence %g does not match |%g - %g|",
+				i, ms.Hierarchy[i].Persistence, p.Birth, p.Death)
+		}
+		if p.Dim > 2 {
+			t.Fatalf("pair %d: lower index %d cannot be cancelled upward", i, p.Dim)
+		}
+	}
+	// Persistence is nondecreasing along the cancellation order only
+	// within cascades; globally the recorded values must all be within
+	// the threshold.
+	for i, p := range diagram {
+		d := p.Death - p.Birth
+		if d < 0 {
+			d = -d
+		}
+		if float64(d) > 0.15*2.01 {
+			t.Fatalf("pair %d: persistence %g exceeds threshold window", i, d)
+		}
+	}
+}

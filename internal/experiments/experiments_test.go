@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers run at reduced scale in tests; the assertions
+// check the paper's qualitative shapes, which must hold at any scale.
+
+func tiny() Config { return Config{Scale: 0.26} } // 16-ish base dims
+
+func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table I runs 2048 virtual ranks")
+	}
+	res, err := TableI(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Total merge time grows as rounds are added.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].TotalMerge <= res.Rows[i-1].TotalMerge {
+			t.Errorf("row %d: total merge %v not greater than previous %v",
+				i, res.Rows[i].TotalMerge, res.Rows[i-1].TotalMerge)
+		}
+	}
+	// The final full merge produces one block.
+	if last := res.Rows[len(res.Rows)-1]; last.OutputBlocks != 1 {
+		t.Errorf("full merge left %d blocks", last.OutputBlocks)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("Print output missing title")
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	res, err := TableII(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// In the paper all five strategies land within 3.5% of each other
+	// (144.0 s to 149.2 s); the robust claims are the narrow spread and
+	// that a three-round high-radix strategy is at least competitive
+	// with the eight-round radix-2 chain. The exact ordering is inside
+	// model noise (see EXPERIMENTS.md).
+	min, max := res.Rows[0].ComputeMerge, res.Rows[0].ComputeMerge
+	bestThreeRounds := res.Rows[0].ComputeMerge
+	for _, r := range res.Rows {
+		if r.ComputeMerge < min {
+			min = r.ComputeMerge
+		}
+		if r.ComputeMerge > max {
+			max = r.ComputeMerge
+		}
+		if r.Rounds == 3 && r.ComputeMerge < bestThreeRounds {
+			bestThreeRounds = r.ComputeMerge
+		}
+	}
+	// At full scale compute dominates and the spread is a few percent
+	// (the paper: 3.5%); at the reduced test scale merge differences
+	// show through more, so the bound is loose.
+	if max > 1.6*min {
+		t.Errorf("strategy spread too wide: %v .. %v", min, max)
+	}
+	radix2Chain := res.Rows[4].ComputeMerge
+	if bestThreeRounds > radix2Chain {
+		t.Errorf("no three-round strategy (best %v) beats the radix-2 chain (%v)", bestThreeRounds, radix2Chain)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(Config{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	serialRow := res.Rows[0]
+	for _, r := range res.Rows {
+		if !r.MatchesSerial {
+			t.Errorf("blocks=%d: stable extrema differ from serial", r.Blocks)
+		}
+		if r.StableMaxima != serialRow.StableMaxima {
+			t.Errorf("blocks=%d: %d stable maxima, serial found %d",
+				r.Blocks, r.StableMaxima, serialRow.StableMaxima)
+		}
+		if r.RidgeCycles < 1 {
+			t.Errorf("blocks=%d: toroidal ridge loop lost (%d cycles)", r.Blocks, r.RidgeCycles)
+		}
+	}
+	// More blocks create more pre-merge boundary artifacts.
+	if !(res.Rows[2].RawNodes > res.Rows[0].RawNodes) {
+		t.Errorf("boundary artifacts missing: raw nodes %d (64 blocks) vs %d (1 block)",
+			res.Rows[2].RawNodes, res.Rows[0].RawNodes)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		if total(cur.Nodes) <= total(prev.Nodes) {
+			t.Errorf("complexity %g: %d nodes not more than %d at %g",
+				cur.Complexity, total(cur.Nodes), total(prev.Nodes), prev.Complexity)
+		}
+	}
+}
+
+func total(n [4]int) int { return n[0] + n[1] + n[2] + n[3] }
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(Config{Scale: 0.5, MaxProcs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Compute time decreases with process count for fixed size and
+	// complexity (strong scaling of the embarrassingly parallel stage).
+	byKey := map[[2]int][]Fig6Row{}
+	for _, r := range res.Rows {
+		k := [2]int{int(r.Complexity), r.PointsSide}
+		byKey[k] = append(byKey[k], r)
+	}
+	for k, rows := range byKey {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Compute >= rows[i-1].Compute {
+				t.Errorf("%v: compute time %v at %d procs not below %v at %d procs",
+					k, rows[i].Compute, rows[i].Procs, rows[i-1].Compute, rows[i-1].Procs)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7(Config{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	none, partial, full := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !(none.TotalNodes > partial.TotalNodes && partial.TotalNodes > full.TotalNodes) {
+		t.Errorf("node counts not decreasing with merge depth: %d, %d, %d",
+			none.TotalNodes, partial.TotalNodes, full.TotalNodes)
+	}
+	if !(none.OutputBlocks > partial.OutputBlocks && partial.OutputBlocks > full.OutputBlocks) {
+		t.Errorf("output blocks not decreasing: %d, %d, %d",
+			none.OutputBlocks, partial.OutputBlocks, full.OutputBlocks)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	res, err := Fig9(Config{Scale: 0.5, MaxProcs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Compute dominates at small process counts.
+	if first.Compute < first.Merge {
+		t.Errorf("at %d procs compute (%v) should dominate merge (%v)",
+			first.Procs, first.Compute, first.Merge)
+	}
+	// Strong scaling: total time drops, efficiency decays below 100%.
+	if last.Total >= first.Total {
+		t.Errorf("no speedup: %v at %d procs vs %v at %d", last.Total, last.Procs, first.Total, first.Procs)
+	}
+	if last.Efficiency >= 1.0 || last.Efficiency <= 0 {
+		t.Errorf("implausible efficiency %v", last.Efficiency)
+	}
+	// Merge time grows (or at least does not vanish) with process count
+	// under a full merge.
+	if last.Merge < first.Merge/2 {
+		t.Errorf("merge time should not shrink under full merge: %v -> %v", first.Merge, last.Merge)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep")
+	}
+	res, err := Fig10(Config{Scale: 0.5, MaxProcs: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Total >= first.Total {
+		t.Errorf("no speedup to %d procs", last.Procs)
+	}
+	// Both efficiencies are meaningful fractions. (The paper's ordering
+	// — compute+merge 66% above end-to-end 35% — is a data-size effect:
+	// its 4 GB output makes the write term dominate end-to-end time,
+	// which only reproduces at -scale ≳ 4; see EXPERIMENTS.md.)
+	if last.CMEff <= 0 || last.CMEff > 1.05 {
+		t.Errorf("implausible compute+merge efficiency %v", last.CMEff)
+	}
+	if last.Efficiency <= 0 || last.Efficiency > 1.05 {
+		t.Errorf("implausible end-to-end efficiency %v", last.Efficiency)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+func TestLoadBalanceShape(t *testing.T) {
+	res, err := LoadBalance(Config{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.ImbalanceRatio < 0.99 {
+			t.Fatalf("impossible imbalance %v (max below mean)", r.ImbalanceRatio)
+		}
+	}
+	// More blocks per process must substantially improve balance on the
+	// clustered workload.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.ImbalanceRatio >= first.ImbalanceRatio {
+		t.Errorf("imbalance did not improve: %v (1 bpp) -> %v (8 bpp)",
+			first.ImbalanceRatio, last.ImbalanceRatio)
+	}
+}
+
+func TestGlobalSimplifyShape(t *testing.T) {
+	res, err := GlobalSimplify(Config{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	partial, global, full := res.Rows[0], res.Rows[1], res.Rows[2]
+	if global.Nodes >= partial.Nodes {
+		t.Errorf("global simplification did not reduce nodes: %d -> %d", partial.Nodes, global.Nodes)
+	}
+	if global.Nodes != full.Nodes {
+		t.Errorf("global simplification (%d nodes) differs from full merge (%d)", global.Nodes, full.Nodes)
+	}
+	if global.Bytes >= partial.Bytes {
+		t.Errorf("global simplification did not reduce bytes: %d -> %d", partial.Bytes, global.Bytes)
+	}
+}
+
+func TestSpeedupMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured timing")
+	}
+	res, err := Speedup(Config{Scale: 0.3, MaxProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.WallSecs <= 0 {
+			t.Fatalf("non-positive wall time at %d procs", r.Procs)
+		}
+	}
+	// Real speedup is noisy on shared CI hosts; require only that more
+	// ranks are not catastrophically slower.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.WallSecs > 1.5*first.WallSecs {
+		t.Errorf("parallel run much slower than serial: %v vs %v", last.WallSecs, first.WallSecs)
+	}
+}
+
+func TestMappingShape(t *testing.T) {
+	res, err := Mapping(Config{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	identity, shuffled := res.Rows[0], res.Rows[1]
+	// Destroying torus locality must not make merging cheaper; with 512
+	// ranks the difference should be visible.
+	if shuffled.MergeTime < identity.MergeTime {
+		t.Errorf("shuffled placement merged faster (%v) than identity (%v)",
+			shuffled.MergeTime, identity.MergeTime)
+	}
+}

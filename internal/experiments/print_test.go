@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parms/internal/grid"
+)
+
+// Rendering tests with fabricated rows: every Print method must produce
+// a titled, aligned table without touching the pipeline.
+
+func render(t *testing.T, p interface{ Print(w *bytes.Buffer) }) string {
+	t.Helper()
+	var buf bytes.Buffer
+	p.Print(&buf)
+	return buf.String()
+}
+
+func TestPrintTableII(t *testing.T) {
+	res := &TableIIResult{Blocks: 256, Rows: []TableIIRow{
+		{Rounds: 3, Radices: []int{4, 8, 8}, ComputeMerge: 144.04},
+		{Rounds: 8, Radices: []int{2, 2, 2, 2, 2, 2, 2, 2}, ComputeMerge: 149.17},
+	}}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table II", "4 8 8", "144.040", "149.170"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintFig6(t *testing.T) {
+	res := &Fig6Result{Rows: []Fig6Row{
+		{Complexity: 2, PointsSide: 65, Procs: 8, Compute: 1.5, Merge: 0.1, OutputSize: 1000},
+		{Complexity: 2, PointsSide: 65, Procs: 16, Compute: 0.8, Merge: 0.12, OutputSize: 1100},
+		{Complexity: 8, PointsSide: 65, Procs: 8, Compute: 1.5, Merge: 0.4, OutputSize: 9000},
+	}}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	if strings.Count(out, "[complexity") != 2 {
+		t.Fatalf("expected two complexity panels in:\n%s", out)
+	}
+	if !strings.Contains(out, "Points/side") {
+		t.Fatalf("missing header in:\n%s", out)
+	}
+}
+
+func TestPrintScaling(t *testing.T) {
+	res := &ScalingResult{
+		Name: "demo",
+		Dims: grid.Dims{96, 112, 64},
+		Rows: []ScalingRow{
+			{Procs: 32, Read: 0.1, Compute: 10, Merge: 0.5, Write: 0.2, Total: 10.8},
+			{Procs: 64, Read: 0.1, Compute: 5, Merge: 0.7, Write: 0.2, Total: 6.0},
+		},
+	}
+	res.fillEfficiency()
+	if res.Rows[0].Efficiency != 1 {
+		t.Fatalf("base efficiency %v", res.Rows[0].Efficiency)
+	}
+	if res.Rows[1].Efficiency <= 0.5 || res.Rows[1].Efficiency >= 1 {
+		t.Fatalf("efficiency %v out of range", res.Rows[1].Efficiency)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "C+M Eff") {
+		t.Fatal("missing efficiency column")
+	}
+}
+
+func TestPrintFig4Fig5Fig7(t *testing.T) {
+	f4 := &Fig4Result{Rows: []Fig4Row{{Blocks: 8, RawNodes: 100, Nodes: [4]int{1, 4, 8, 4},
+		StableMaxima: 3, RidgeCycles: 1, MatchesSerial: true}}}
+	var buf bytes.Buffer
+	f4.Print(&buf)
+	if !strings.Contains(buf.String(), "Stable maxima") {
+		t.Fatal("fig4 header missing")
+	}
+
+	f5 := &Fig5Result{PointsSide: 65, Rows: []Fig5Row{{Complexity: 4, Nodes: [4]int{32, 33, 34, 32}, Arcs: 500, OutputSize: 12345}}}
+	buf.Reset()
+	f5.Print(&buf)
+	if !strings.Contains(buf.String(), "Features/side") {
+		t.Fatal("fig5 header missing")
+	}
+
+	f7 := &Fig7Result{Rows: []Fig7Row{{Label: "full", Radices: []int{8, 8}, OutputBlocks: 1, OutputSize: 99, TotalNodes: 42, MergeTime: 0.5}}}
+	buf.Reset()
+	f7.Print(&buf)
+	if !strings.Contains(buf.String(), "Blocks out") {
+		t.Fatal("fig7 header missing")
+	}
+}
+
+func TestPrintExtensions(t *testing.T) {
+	b := &BalanceResult{Rows: []BalanceRow{{Procs: 16, BlocksPerProc: 1, ComputeMax: 2, ComputeMean: 1, ImbalanceRatio: 2}}}
+	var buf bytes.Buffer
+	b.Print(&buf)
+	if !strings.Contains(buf.String(), "Max/mean") {
+		t.Fatal("balance header missing")
+	}
+
+	s := &SpeedupResult{HostCPUs: 4, Rows: []SpeedupRow{{Procs: 1, WallSecs: 4, Speedup: 1, Efficiency: 1}}}
+	buf.Reset()
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Fatal("speedup header missing")
+	}
+
+	g := &GlobalSimplifyResult{Rows: []GlobalSimplifyRow{{Label: "partial", OutputBlocks: 8, Nodes: 1000, Bytes: 5000}}}
+	buf.Reset()
+	g.Print(&buf)
+	if !strings.Contains(buf.String(), "Configuration") {
+		t.Fatal("globalsimplify header missing")
+	}
+
+	m := &MappingResult{Procs: 512, Rows: []MappingRow{{Label: "identity", MergeTime: 0.1, TotalTime: 1}}}
+	buf.Reset()
+	m.Print(&buf)
+	if !strings.Contains(buf.String(), "Placement") {
+		t.Fatal("mapping header missing")
+	}
+}

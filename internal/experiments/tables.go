@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"parms/internal/synth"
+)
+
+// TableIRow is one row of Table I: the cost of merging 2048 blocks with
+// an increasing number of rounds.
+type TableIRow struct {
+	Rounds         int
+	Radices        []int
+	TotalMerge     float64 // seconds, virtual
+	FinalRoundTime float64 // seconds, virtual
+	OutputBlocks   int
+}
+
+// TableIResult is the regenerated Table I.
+type TableIResult struct {
+	Blocks int
+	Rows   []TableIRow
+}
+
+// TableI reproduces "Cost of Merging 2048 Blocks": one round of radix-4,
+// then adding one radix-8 round at a time up to the full merge
+// [4 8 8 8]. The paper's observation: each successive round is more
+// expensive than the last, because complexes grow and gravitate toward
+// fewer processes.
+func TableI(cfg Config) (*TableIResult, error) {
+	const blocks = 2048
+	n := cfg.dim(96)
+	vol := synth.Sinusoid(n+1, 8)
+	res := &TableIResult{Blocks: blocks}
+	schedules := [][]int{{4}, {4, 8}, {4, 8, 8}, {4, 8, 8, 8}}
+	for _, radices := range schedules {
+		cfg.logf("table1: %d rounds %v\n", len(radices), radices)
+		r, err := run(cfg, vol, blocks, blocks, radices, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{
+			Rounds:       len(radices),
+			Radices:      radices,
+			TotalMerge:   r.Times.Merge,
+			OutputBlocks: r.OutputBlocks,
+		}
+		if len(r.Rounds) > 0 {
+			row.FinalRoundTime = r.Rounds[len(r.Rounds)-1].Seconds
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's layout.
+func (t *TableIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table I: Cost of Merging %d Blocks\n", t.Blocks)
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []string{
+			fmt.Sprint(r.Rounds),
+			radixString(r.Radices),
+			fmt.Sprintf("%.3f", r.TotalMerge),
+			fmt.Sprintf("%.3f", r.FinalRoundTime),
+		}
+	}
+	table(w, []string{"Rounds", "Radices", "Total Merge (s)", "Final Round (s)"}, rows)
+}
+
+// TableIIRow is one row of Table II: a full-merge strategy for 256
+// blocks.
+type TableIIRow struct {
+	Rounds       int
+	Radices      []int
+	ComputeMerge float64 // compute + merge seconds, virtual
+}
+
+// TableIIResult is the regenerated Table II.
+type TableIIResult struct {
+	Blocks int
+	Rows   []TableIIRow
+}
+
+// TableII reproduces "Merge Strategies for Full Merge of 256 Blocks".
+// The paper's guideline: fewer rounds with higher radices win, and when
+// a smaller radix is unavoidable it belongs in an early round.
+func TableII(cfg Config) (*TableIIResult, error) {
+	const blocks = 256
+	n := cfg.dim(96)
+	vol := synth.Sinusoid(n+1, 8)
+	res := &TableIIResult{Blocks: blocks}
+	strategies := [][]int{
+		{4, 8, 8},
+		{8, 8, 4},
+		{4, 4, 2, 8},
+		{4, 4, 4, 4},
+		{2, 2, 2, 2, 2, 2, 2, 2},
+	}
+	for _, radices := range strategies {
+		cfg.logf("table2: %v\n", radices)
+		r, err := run(cfg, vol, blocks, blocks, radices, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIRow{
+			Rounds:       len(radices),
+			Radices:      radices,
+			ComputeMerge: r.Times.Compute + r.Times.Merge,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's layout.
+func (t *TableIIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table II: Merge Strategies for Full Merge of %d Blocks\n", t.Blocks)
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []string{
+			fmt.Sprint(r.Rounds),
+			radixString(r.Radices),
+			fmt.Sprintf("%.3f", r.ComputeMerge),
+		}
+	}
+	table(w, []string{"Rounds", "Radices", "Compute+Merge (s)"}, rows)
+}

@@ -1,0 +1,178 @@
+// Package export renders a computed MS complex into interchange
+// formats: JSON for programmatic consumers and Wavefront OBJ for the
+// kind of 1-skeleton visualization the paper's figures show (critical
+// points as labeled vertices, arcs as polylines through their geometric
+// embedding).
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"parms/internal/grid"
+	"parms/internal/mscomplex"
+)
+
+// JSONComplex is the JSON shape of an exported complex.
+type JSONComplex struct {
+	Region    []int32    `json:"region"`
+	Nodes     []JSONNode `json:"nodes"`
+	Arcs      []JSONArc  `json:"arcs"`
+	Hierarchy []JSONPair `json:"hierarchy,omitempty"`
+	Counts    [4]int     `json:"counts"`
+	Euler     int        `json:"euler"`
+}
+
+// JSONNode is one critical point.
+type JSONNode struct {
+	ID    int32      `json:"id"`
+	Cell  uint64     `json:"cell"`
+	Pos   [3]float64 `json:"pos"` // in vertex units of the original grid
+	Index uint8      `json:"index"`
+	Value float32    `json:"value"`
+	Bdry  bool       `json:"boundary,omitempty"`
+}
+
+// JSONArc is one arc with its polyline geometry.
+type JSONArc struct {
+	Upper int32        `json:"upper"`
+	Lower int32        `json:"lower"`
+	Path  [][3]float64 `json:"path,omitempty"`
+}
+
+// JSONPair is one cancellation of the hierarchy.
+type JSONPair struct {
+	Persistence float32 `json:"persistence"`
+	UpperCell   uint64  `json:"upperCell"`
+	LowerCell   uint64  `json:"lowerCell"`
+}
+
+// position converts a refined-grid address to original-grid vertex
+// coordinates (cells sit at half-integer positions).
+func position(space grid.AddrSpace, a grid.Addr) [3]float64 {
+	x, y, z := space.Decode(a)
+	return [3]float64{float64(x) / 2, float64(y) / 2, float64(z) / 2}
+}
+
+// JSONOptions controls the JSON export.
+type JSONOptions struct {
+	// Geometry includes arc polylines (can dominate the output size).
+	Geometry bool
+	// Hierarchy includes the cancellation record.
+	Hierarchy bool
+}
+
+// WriteJSON exports the alive part of a complex as one JSON document.
+// dims must be the original volume extent the complex was computed on.
+func WriteJSON(w io.Writer, ms *mscomplex.Complex, dims grid.Dims, opts JSONOptions) error {
+	space := grid.NewAddrSpace(dims)
+	doc := JSONComplex{Region: ms.Region, Euler: ms.EulerCharacteristic()}
+	counts, _ := ms.AliveCounts()
+	doc.Counts = counts
+
+	remap := make(map[mscomplex.NodeID]int32)
+	for i := range ms.Nodes {
+		n := &ms.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		id := int32(len(doc.Nodes))
+		remap[mscomplex.NodeID(i)] = id
+		doc.Nodes = append(doc.Nodes, JSONNode{
+			ID:    id,
+			Cell:  uint64(n.Cell),
+			Pos:   position(space, n.Cell),
+			Index: n.Index,
+			Value: n.Value,
+			Bdry:  ms.IsBoundaryNode(mscomplex.NodeID(i)),
+		})
+	}
+	for i := range ms.Arcs {
+		a := &ms.Arcs[i]
+		if !a.Alive {
+			continue
+		}
+		ja := JSONArc{Upper: remap[a.Upper], Lower: remap[a.Lower]}
+		if opts.Geometry {
+			for _, cell := range ms.FlattenGeom(a.Geom) {
+				ja.Path = append(ja.Path, position(space, cell))
+			}
+		}
+		doc.Arcs = append(doc.Arcs, ja)
+	}
+	if opts.Hierarchy {
+		for _, h := range ms.Hierarchy {
+			doc.Hierarchy = append(doc.Hierarchy, JSONPair{
+				Persistence: h.Persistence,
+				UpperCell:   uint64(h.UpperCell),
+				LowerCell:   uint64(h.LowerCell),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteOBJ exports the 1-skeleton as a Wavefront OBJ: one vertex per
+// critical point and per geometry sample, and line elements ("l")
+// tracing each arc — loadable by standard 3D viewers to reproduce the
+// paper's skeleton renderings. Critical points are grouped by Morse
+// index (g min / g saddle1 / g saddle2 / g max / g arcs) so viewers can
+// style them separately.
+func WriteOBJ(w io.Writer, ms *mscomplex.Complex, dims grid.Dims) error {
+	space := grid.NewAddrSpace(dims)
+	bw := &errWriter{w: w}
+	bw.printf("# parms MS complex 1-skeleton: %d nodes\n", ms.NumAliveNodes())
+
+	// Emit critical point vertices, grouped by index.
+	names := [4]string{"min", "saddle1", "saddle2", "max"}
+	vertCount := 0
+	for d := uint8(0); d < 4; d++ {
+		bw.printf("g %s\n", names[d])
+		for i := range ms.Nodes {
+			n := &ms.Nodes[i]
+			if !n.Alive || n.Index != d {
+				continue
+			}
+			p := position(space, n.Cell)
+			bw.printf("v %g %g %g\n", p[0], p[1], p[2])
+			vertCount++
+			bw.printf("p %d\n", vertCount)
+		}
+	}
+
+	// Emit each arc as a polyline.
+	bw.printf("g arcs\n")
+	for i := range ms.Arcs {
+		a := &ms.Arcs[i]
+		if !a.Alive {
+			continue
+		}
+		cells := ms.FlattenGeom(a.Geom)
+		first := vertCount + 1
+		for _, cell := range cells {
+			p := position(space, cell)
+			bw.printf("v %g %g %g\n", p[0], p[1], p[2])
+			vertCount++
+		}
+		bw.printf("l")
+		for v := first; v <= vertCount; v++ {
+			bw.printf(" %d", v)
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

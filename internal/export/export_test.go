@@ -1,0 +1,119 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parms/internal/serial"
+	"parms/internal/synth"
+)
+
+func TestWriteJSON(t *testing.T) {
+	vol := synth.Sinusoid(13, 2)
+	ms := serial.Compute(vol, 0.1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ms, vol.Dims, JSONOptions{Geometry: true, Hierarchy: true}); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONComplex
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	wantNodes, wantArcs := ms.AliveCounts()
+	if doc.Counts != wantNodes {
+		t.Fatalf("counts %v, want %v", doc.Counts, wantNodes)
+	}
+	if len(doc.Arcs) != wantArcs {
+		t.Fatalf("%d arcs, want %d", len(doc.Arcs), wantArcs)
+	}
+	if doc.Euler != 1 {
+		t.Fatalf("euler %d", doc.Euler)
+	}
+	if len(doc.Hierarchy) == 0 {
+		t.Fatal("hierarchy missing")
+	}
+	// Node ids are dense and arcs reference them.
+	for i, n := range doc.Nodes {
+		if n.ID != int32(i) {
+			t.Fatalf("node ids not dense")
+		}
+		if n.Pos[0] < 0 || n.Pos[0] > 12 {
+			t.Fatalf("node position %v outside grid", n.Pos)
+		}
+	}
+	for _, a := range doc.Arcs {
+		if int(a.Upper) >= len(doc.Nodes) || int(a.Lower) >= len(doc.Nodes) {
+			t.Fatal("arc references unknown node")
+		}
+		if len(a.Path) < 2 {
+			t.Fatal("arc geometry missing")
+		}
+		// The polyline must start and end at the endpoint nodes.
+		if a.Path[0] != doc.Nodes[a.Upper].Pos {
+			t.Fatal("arc path does not start at upper node")
+		}
+		if a.Path[len(a.Path)-1] != doc.Nodes[a.Lower].Pos {
+			t.Fatal("arc path does not end at lower node")
+		}
+	}
+}
+
+func TestWriteJSONWithoutGeometry(t *testing.T) {
+	vol := synth.Sinusoid(13, 2)
+	ms := serial.Compute(vol, 0.1)
+	var with, without bytes.Buffer
+	if err := WriteJSON(&with, ms, vol.Dims, JSONOptions{Geometry: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&without, ms, vol.Dims, JSONOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if without.Len() >= with.Len() {
+		t.Fatal("geometry-free export not smaller")
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	vol := synth.Sinusoid(13, 2)
+	ms := serial.Compute(vol, 0.1)
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, ms, vol.Dims); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, group := range []string{"g min", "g saddle1", "g saddle2", "g max", "g arcs"} {
+		if !strings.Contains(out, group) {
+			t.Fatalf("missing group %q", group)
+		}
+	}
+	vLines := strings.Count(out, "\nv ")
+	lLines := strings.Count(out, "\nl ")
+	_, wantArcs := ms.AliveCounts()
+	if lLines != wantArcs {
+		t.Fatalf("%d line elements, want %d arcs", lLines, wantArcs)
+	}
+	if vLines <= ms.NumAliveNodes() {
+		t.Fatal("no geometry vertices emitted")
+	}
+	// Every line element references valid vertex indices.
+	verts := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "v ") {
+			verts++
+		}
+		if strings.HasPrefix(line, "l ") {
+			for _, field := range strings.Fields(line)[1:] {
+				idx, err := strconv.Atoi(field)
+				if err != nil {
+					t.Fatalf("bad line element %q", line)
+				}
+				if idx < 1 || idx > verts {
+					t.Fatalf("line references vertex %d of %d (forward reference)", idx, verts)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package gradient
+
+import (
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/grid"
+	"parms/internal/synth"
+)
+
+// BenchmarkAblationGreedy and BenchmarkAblationLowerStars compare the
+// paper's greedy steepest-descent construction against the
+// ProcessLowerStars alternative on identical input — the
+// gradient-algorithm ablation. Greedy needs a global sort but simple
+// sweeps; lower stars does per-vertex queue work and finds fewer
+// spurious critical cells.
+func BenchmarkAblationGreedy(b *testing.B) {
+	vol := synth.Sinusoid(33, 4)
+	block := grid.Block{Lo: [3]int{0, 0, 0}, Hi: [3]int{32, 32, 32}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := Compute(cube.New(vol.Dims, block, vol), nil)
+		counts := f.CriticalCounts()
+		b.ReportMetric(float64(counts[0]+counts[1]+counts[2]+counts[3]), "criticals")
+	}
+}
+
+func BenchmarkAblationLowerStars(b *testing.B) {
+	vol := synth.Sinusoid(33, 4)
+	block := grid.Block{Lo: [3]int{0, 0, 0}, Hi: [3]int{32, 32, 32}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := ComputeLowerStars(cube.New(vol.Dims, block, vol))
+		counts := f.CriticalCounts()
+		b.ReportMetric(float64(counts[0]+counts[1]+counts[2]+counts[3]), "criticals")
+	}
+}
+
+// BenchmarkAblationBoundaryRestriction measures the cost the paper's
+// shared-face pairing restriction adds to the gradient stage (stratum
+// classification plus restricted candidate sets), by computing the same
+// block with and without a decomposition.
+func BenchmarkAblationBoundaryRestriction(b *testing.B) {
+	vol := synth.Sinusoid(33, 4)
+	dec, err := grid.Decompose(vol.Dims, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk := dec.Blocks[0]
+	sub := vol.SubVolume(blk.Lo, blk.Hi)
+	b.Run("restricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Compute(cube.New(vol.Dims, blk, sub), dec)
+		}
+	})
+	b.Run("unrestricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Compute(cube.New(vol.Dims, blk, sub), nil)
+		}
+	})
+}

@@ -1,0 +1,377 @@
+// Package gradient computes the discrete gradient vector field of one
+// block, following the greedy steepest-descent construction of Gyulassy
+// et al. (2008) as described in section IV-C of the paper: cells are
+// processed by increasing dimension and then increasing function value
+// (under the simulation-of-simplicity total order); a d-cell is paired
+// with the steepest of its unassigned cofacets for which it is the only
+// unassigned facet, and is marked critical otherwise.
+//
+// To allow blocks to be glued during the merge stage, pairing is
+// restricted on shared block boundaries: a cell lying on the boundary of
+// two or more blocks may only pair with cells lying on the boundary of
+// those same blocks. The pairing decisions inside such a boundary
+// stratum then depend only on the stratum's own cells and values, so two
+// neighboring blocks compute byte-identical gradients on their shared
+// face.
+//
+// The result is stored in one byte per refined-grid cell, exactly as the
+// paper's implementation does: three bits of pair direction, plus flags
+// for assigned/critical state.
+package gradient
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"parms/internal/cube"
+	"parms/internal/grid"
+	"parms/internal/vtime"
+)
+
+// State byte layout.
+const (
+	dirMask     = 0x07 // bits 0-2: direction of the paired neighbor
+	flagPaired  = 0x08 // bit 3: cell is half of a gradient vector
+	flagCrit    = 0x10 // bit 4: cell is critical
+	flagVisited = 0x20 // bit 5: scratch flag for traversals
+)
+
+// Field is the discrete gradient vector field of one block.
+type Field struct {
+	C *cube.Complex
+
+	state  []byte
+	strata []int32
+	// Work tallies the operations spent computing the field, for the
+	// virtual-time cost model.
+	Work vtime.Work
+}
+
+// Compute builds the discrete gradient field for the block underlying c.
+// dec supplies the global decomposition for the boundary pairing
+// restriction; passing nil disables the restriction (the serial,
+// single-block behaviour).
+func Compute(c *cube.Complex, dec *grid.Decomposition) *Field {
+	f := &Field{
+		C:      c,
+		state:  make([]byte, c.NumCells()),
+		strata: make([]int32, c.NumCells()),
+	}
+	f.classifyStrata(dec)
+	f.assign()
+	return f
+}
+
+// classifyStrata assigns each cell a stratum id. Interior cells (owned
+// by this block alone) get stratum 0; cells on a shared boundary get an
+// id interned from the sorted set of blocks whose closed boxes contain
+// the cell.
+func (f *Field) classifyStrata(dec *grid.Decomposition) {
+	if dec == nil {
+		return // everything stratum 0
+	}
+	c := f.C
+	intern := map[string]int32{}
+	n := c.NumCells()
+	for idx := 0; idx < n; idx++ {
+		if !c.OnAnyFace(idx) {
+			continue
+		}
+		gx, gy, gz := c.GlobalCoords(idx)
+		owners := dec.OwnersOfRefined(c.Block.ID, gx, gy, gz)
+		if len(owners) <= 1 {
+			continue // a face on the domain boundary: unrestricted
+		}
+		key := ownersKey(owners)
+		id, ok := intern[key]
+		if !ok {
+			id = int32(len(intern) + 1)
+			intern[key] = id
+		}
+		f.strata[idx] = id
+	}
+}
+
+func ownersKey(owners []int) string {
+	buf := make([]byte, 0, len(owners)*4)
+	for _, o := range owners {
+		buf = append(buf, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+	}
+	return string(buf)
+}
+
+// assign runs the greedy pairing sweeps, one per dimension.
+func (f *Field) assign() {
+	c := f.C
+	n := c.NumCells()
+	f.Work.CellsVisited += int64(n)
+
+	// Bucket cell indices by dimension.
+	byDim := [4][]int32{}
+	counts := [4]int{}
+	for idx := 0; idx < n; idx++ {
+		counts[c.Dim(idx)]++
+	}
+	for d := 0; d < 4; d++ {
+		byDim[d] = make([]int32, 0, counts[d])
+	}
+	for idx := 0; idx < n; idx++ {
+		d := c.Dim(idx)
+		byDim[d] = append(byDim[d], int32(idx))
+	}
+
+	var facetBuf, cofacetBuf [6]int
+	for d := 0; d <= 2; d++ {
+		cellsD := byDim[d]
+		f.sortCells(cellsD)
+		for _, ci := range cellsD {
+			idx := int(ci)
+			if f.state[idx]&(flagPaired|flagCrit) != 0 {
+				continue // already a head of a pair from the previous sweep
+			}
+			best := -1
+			for _, co := range c.Cofacets(idx, cofacetBuf[:0]) {
+				f.Work.PairTests++
+				if f.state[co]&(flagPaired|flagCrit) != 0 {
+					continue
+				}
+				if f.strata[co] != f.strata[idx] {
+					continue // boundary restriction
+				}
+				// idx must be the only unassigned facet of co.
+				sole := true
+				for _, fc := range c.Facets(co, facetBuf[:0]) {
+					if fc != idx && f.state[fc]&(flagPaired|flagCrit) == 0 {
+						sole = false
+						break
+					}
+				}
+				if !sole {
+					continue
+				}
+				// Steepest descent: the candidate with the smallest
+				// simulation-of-simplicity order.
+				if best < 0 || c.Compare(co, best) < 0 {
+					best = co
+				}
+			}
+			if best < 0 {
+				f.state[idx] |= flagCrit
+				continue
+			}
+			f.pair(idx, best)
+		}
+	}
+	// Whatever remains unassigned can only be 3-cells; they are maxima.
+	for _, ci := range byDim[3] {
+		if f.state[ci]&(flagPaired|flagCrit) == 0 {
+			f.state[ci] |= flagCrit
+		}
+	}
+}
+
+// sortCells orders same-dimension cells ascending in the SoS total
+// order. A precomputed (max value, max vertex id) key resolves almost
+// every comparison; the full lexicographic comparison breaks the rare
+// remaining ties.
+func (f *Field) sortCells(cells []int32) {
+	c := f.C
+	nc := len(cells)
+	if nc == 0 {
+		return
+	}
+	val := make([]float32, nc)
+	id := make([]int64, nc)
+	pos := make(map[int32]int32, nc)
+	var buf [8]cube.VertKey
+	for i, ci := range cells {
+		keys := c.VertKeys(int(ci), buf[:])
+		val[i] = keys[0].Val
+		id[i] = keys[0].ID
+		pos[ci] = int32(i)
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ia, ib := pos[cells[a]], pos[cells[b]]
+		if val[ia] != val[ib] {
+			return val[ia] < val[ib]
+		}
+		if id[ia] != id[ib] {
+			return id[ia] < id[ib]
+		}
+		return c.Compare(int(cells[a]), int(cells[b])) < 0
+	})
+	f.Work.SortedItems += int64(nc) * int64(bits.Len(uint(nc)))
+}
+
+// pair records the gradient vector tail→head between facet tail and
+// cofacet head.
+func (f *Field) pair(tail, head int) {
+	f.state[tail] = flagPaired | dirOf(f.C, tail, head)
+	f.state[head] = flagPaired | dirOf(f.C, head, tail)
+}
+
+// dirOf returns the 3-bit direction code from cell a to its facet or
+// cofacet b: axis*2 + (1 if positive direction).
+func dirOf(c *cube.Complex, a, b int) byte {
+	diff := b - a
+	switch diff {
+	case -1:
+		return 0
+	case 1:
+		return 1
+	case -c.NX:
+		return 2
+	case c.NX:
+		return 3
+	case -c.NX * c.NY:
+		return 4
+	case c.NX * c.NY:
+		return 5
+	}
+	panic(fmt.Sprintf("gradient: cells %d and %d are not incident", a, b))
+}
+
+// neighborByDir returns the cell adjacent to idx in the given direction.
+func neighborByDir(c *cube.Complex, idx int, dir byte) int {
+	switch dir {
+	case 0:
+		return idx - 1
+	case 1:
+		return idx + 1
+	case 2:
+		return idx - c.NX
+	case 3:
+		return idx + c.NX
+	case 4:
+		return idx - c.NX*c.NY
+	default:
+		return idx + c.NX*c.NY
+	}
+}
+
+// IsCritical reports whether a cell is unpaired (a node of the complex).
+func (f *Field) IsCritical(idx int) bool { return f.state[idx]&flagCrit != 0 }
+
+// IsPaired reports whether a cell is half of a gradient vector.
+func (f *Field) IsPaired(idx int) bool { return f.state[idx]&flagPaired != 0 }
+
+// PairedWith returns the cell paired with idx, if any.
+func (f *Field) PairedWith(idx int) (int, bool) {
+	if !f.IsPaired(idx) {
+		return 0, false
+	}
+	return neighborByDir(f.C, idx, f.state[idx]&dirMask), true
+}
+
+// IsHead reports whether idx is the head (higher-dimensional end) of its
+// gradient vector.
+func (f *Field) IsHead(idx int) bool {
+	p, ok := f.PairedWith(idx)
+	return ok && f.C.Dim(p) < f.C.Dim(idx)
+}
+
+// IsTail reports whether idx is the tail (lower-dimensional end) of its
+// gradient vector.
+func (f *Field) IsTail(idx int) bool {
+	p, ok := f.PairedWith(idx)
+	return ok && f.C.Dim(p) > f.C.Dim(idx)
+}
+
+// Stratum returns the boundary stratum id of a cell (0 for interior).
+func (f *Field) Stratum(idx int) int32 { return f.strata[idx] }
+
+// StateByte exposes the raw one-byte encoding of a cell's gradient
+// state (used by tests that compare shared faces between blocks).
+func (f *Field) StateByte(idx int) byte { return f.state[idx] &^ flagVisited }
+
+// CriticalCells returns the indices of all critical cells, in index
+// order.
+func (f *Field) CriticalCells() []int32 {
+	var out []int32
+	for idx := range f.state {
+		if f.state[idx]&flagCrit != 0 {
+			out = append(out, int32(idx))
+		}
+	}
+	return out
+}
+
+// CriticalCounts returns the number of critical cells of each index.
+func (f *Field) CriticalCounts() [4]int {
+	var counts [4]int
+	for idx := range f.state {
+		if f.state[idx]&flagCrit != 0 {
+			counts[f.C.Dim(idx)]++
+		}
+	}
+	return counts
+}
+
+// Validate checks structural invariants of the field: every paired cell
+// points at a cell that points back, pairs span exactly one dimension,
+// pairs respect strata, and no cell is both paired and critical. It
+// also verifies acyclicity by walking every V-path and failing if any
+// walk exceeds the cell count. It returns the first violation found.
+func (f *Field) Validate() error {
+	c := f.C
+	n := c.NumCells()
+	for idx := 0; idx < n; idx++ {
+		s := f.state[idx]
+		if s&flagPaired != 0 && s&flagCrit != 0 {
+			return fmt.Errorf("cell %d both paired and critical", idx)
+		}
+		if s&flagPaired != 0 {
+			p := neighborByDir(c, idx, s&dirMask)
+			if p < 0 || p >= n {
+				return fmt.Errorf("cell %d paired out of range", idx)
+			}
+			if !f.IsPaired(p) {
+				return fmt.Errorf("cell %d paired with unpaired cell %d", idx, p)
+			}
+			if back := neighborByDir(c, p, f.state[p]&dirMask); back != idx {
+				return fmt.Errorf("pairing of %d and %d not mutual", idx, p)
+			}
+			if dd := c.Dim(p) - c.Dim(idx); dd != 1 && dd != -1 {
+				return fmt.Errorf("pair %d(%d-cell)–%d(%d-cell) does not span one dimension",
+					idx, c.Dim(idx), p, c.Dim(p))
+			}
+			if f.strata[idx] != f.strata[p] {
+				return fmt.Errorf("pair %d–%d crosses strata %d–%d", idx, p, f.strata[idx], f.strata[p])
+			}
+		}
+	}
+	// Acyclicity: follow the deterministic descending V-path from the
+	// tail of every vector in the (0,1) layer and the single-successor
+	// walks in higher layers via bounded traversal from criticals.
+	limit := n + 1
+	for idx := 0; idx < n; idx++ {
+		if c.Dim(idx) != 0 || !f.IsTail(idx) {
+			continue
+		}
+		steps := 0
+		v := idx
+		for {
+			e, ok := f.PairedWith(v)
+			if !ok || c.Dim(e) != 1 {
+				break
+			}
+			// Move to the other endpoint of e.
+			var fb [6]int
+			fc := c.Facets(e, fb[:0])
+			if fc[0] == v {
+				v = fc[1]
+			} else {
+				v = fc[0]
+			}
+			if f.IsCritical(v) {
+				break
+			}
+			steps++
+			if steps > limit {
+				return fmt.Errorf("cycle detected in (0,1) V-path from cell %d", idx)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package gradient
+
+import (
+	"container/heap"
+
+	"parms/internal/cube"
+)
+
+// ComputeLowerStars builds a discrete gradient field with the
+// ProcessLowerStars algorithm of Robins, Wood and Sheppard (2011), the
+// main alternative to the greedy steepest-descent construction the
+// paper adopts (its related work discusses both families). Each vertex's
+// lower star — the cells whose maximal vertex it is — is processed
+// independently with a homotopy-expansion queue, which makes the
+// algorithm embarrassingly parallel over vertices and guarantees one
+// critical cell per topology change of the lower star.
+//
+// This implementation covers the whole block without the shared-face
+// pairing restriction, so it serves as a serial reference and as the
+// subject of the gradient-algorithm ablation benchmark, not as a drop-in
+// stage-one replacement (the merge stage requires the restricted
+// construction).
+func ComputeLowerStars(c *cube.Complex) *Field {
+	f := &Field{
+		C:      c,
+		state:  make([]byte, c.NumCells()),
+		strata: make([]int32, c.NumCells()),
+	}
+	f.Work.CellsVisited += int64(c.NumCells())
+
+	n := c.NumCells()
+	for idx := 0; idx < n; idx++ {
+		if c.Dim(idx) == 0 {
+			f.processLowerStar(idx)
+		}
+	}
+	return f
+}
+
+// lsHeap orders lower-star cells by the simulation-of-simplicity total
+// order (ascending), comparing through the complex.
+type lsHeap struct {
+	c     *cube.Complex
+	cells []int
+}
+
+func (h *lsHeap) Len() int           { return len(h.cells) }
+func (h *lsHeap) Less(i, j int) bool { return h.c.Compare(h.cells[i], h.cells[j]) < 0 }
+func (h *lsHeap) Swap(i, j int)      { h.cells[i], h.cells[j] = h.cells[j], h.cells[i] }
+func (h *lsHeap) Push(x interface{}) { h.cells = append(h.cells, x.(int)) }
+func (h *lsHeap) Pop() interface{} {
+	old := h.cells
+	x := old[len(old)-1]
+	h.cells = old[:len(old)-1]
+	return x
+}
+
+// processLowerStar runs the queue algorithm for one vertex.
+func (f *Field) processLowerStar(v int) {
+	c := f.C
+	star := f.lowerStar(v)
+	if len(star) == 1 {
+		f.state[v] |= flagCrit // isolated lower star: a minimum
+		return
+	}
+	inStar := make(map[int]bool, len(star))
+	for _, cell := range star {
+		inStar[cell] = true
+	}
+	// delta: the minimal edge of the lower star pairs with v.
+	var delta = -1
+	for _, cell := range star {
+		if c.Dim(cell) != 1 {
+			continue
+		}
+		if delta < 0 || c.Compare(cell, delta) < 0 {
+			delta = cell
+		}
+	}
+	f.pair(v, delta)
+	f.Work.PairTests++
+
+	done := map[int]bool{v: true, delta: true}
+
+	unpairedFaces := func(cell int) (count, face int) {
+		var fb [6]int
+		for _, fc := range c.Facets(cell, fb[:0]) {
+			f.Work.PairTests++
+			if inStar[fc] && !done[fc] {
+				count++
+				face = fc
+			}
+		}
+		return
+	}
+
+	pqOne := &lsHeap{c: c}
+	pqZero := &lsHeap{c: c}
+	inOne := map[int]bool{}
+	inZero := map[int]bool{}
+
+	pushByFaces := func(cell int) {
+		if done[cell] || inOne[cell] || inZero[cell] {
+			return
+		}
+		count, _ := unpairedFaces(cell)
+		switch count {
+		case 0:
+			heap.Push(pqZero, cell)
+			inZero[cell] = true
+		case 1:
+			heap.Push(pqOne, cell)
+			inOne[cell] = true
+		}
+	}
+	// Seed with the remaining edges (zero unpaired faces: their only
+	// lower-star face is v, already paired) and delta's cofaces.
+	for _, cell := range star {
+		if done[cell] {
+			continue
+		}
+		pushByFaces(cell)
+	}
+
+	for pqOne.Len() > 0 || pqZero.Len() > 0 {
+		for pqOne.Len() > 0 {
+			alpha := heap.Pop(pqOne).(int)
+			inOne[alpha] = false
+			if done[alpha] {
+				continue
+			}
+			count, face := unpairedFaces(alpha)
+			switch count {
+			case 0:
+				heap.Push(pqZero, alpha)
+				inZero[alpha] = true
+			case 1:
+				f.pair(face, alpha)
+				done[face], done[alpha] = true, true
+				// Cells whose counts may have changed: cofaces of the
+				// two newly paired cells within the star.
+				var cb [6]int
+				for _, co := range c.Cofacets(face, cb[:0]) {
+					if inStar[co] {
+						pushByFaces(co)
+					}
+				}
+				for _, co := range c.Cofacets(alpha, cb[:0]) {
+					if inStar[co] {
+						pushByFaces(co)
+					}
+				}
+			default:
+				// Stale entry; it will come back when counts drop.
+			}
+		}
+		// Pop the minimal fully-blocked cell and mark it critical.
+		for pqZero.Len() > 0 {
+			gamma := heap.Pop(pqZero).(int)
+			inZero[gamma] = false
+			if done[gamma] {
+				continue
+			}
+			if count, _ := unpairedFaces(gamma); count != 0 {
+				// Stale: became pairable again.
+				pushByFaces(gamma)
+				continue
+			}
+			f.state[gamma] |= flagCrit
+			done[gamma] = true
+			var cb [6]int
+			for _, co := range c.Cofacets(gamma, cb[:0]) {
+				if inStar[co] {
+					pushByFaces(co)
+				}
+			}
+			break
+		}
+	}
+}
+
+// lowerStar collects the cells of v's lower star: every cell incident to
+// v whose maximal vertex (under the simulation-of-simplicity order) is
+// v. The vertex itself is included.
+func (f *Field) lowerStar(v int) []int {
+	c := f.C
+	vx, vy, vz := c.Coords(v)
+	var kb [8]cube.VertKey
+	vKey := c.VertKeys(v, kb[:])[0]
+
+	star := []int{v}
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				x, y, z := vx+dx, vy+dy, vz+dz
+				if x < 0 || y < 0 || z < 0 || x >= c.NX || y >= c.NY || z >= c.NZ {
+					continue
+				}
+				cell := c.Index(x, y, z)
+				var cb [8]cube.VertKey
+				keys := c.VertKeys(cell, cb[:])
+				if keys[0] == vKey {
+					star = append(star, cell)
+				}
+			}
+		}
+	}
+	return star
+}

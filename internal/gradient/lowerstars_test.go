@@ -1,0 +1,99 @@
+package gradient
+
+import (
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/grid"
+	"parms/internal/synth"
+)
+
+func lowerStarsField(t *testing.T, vol *grid.Volume) *Field {
+	t.Helper()
+	c := cube.New(vol.Dims, fullBlock(vol.Dims), vol)
+	f := ComputeLowerStars(c)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid lower-stars gradient: %v", err)
+	}
+	return f
+}
+
+func TestLowerStarsRamp(t *testing.T) {
+	f := lowerStarsField(t, synth.Ramp(grid.Dims{8, 8, 8}))
+	counts := f.CriticalCounts()
+	if counts != [4]int{1, 0, 0, 0} {
+		t.Fatalf("ramp criticals %v, want a single minimum", counts)
+	}
+}
+
+func TestLowerStarsEuler(t *testing.T) {
+	for _, vol := range []*grid.Volume{
+		synth.Sinusoid(17, 2),
+		synth.Random(grid.Dims{10, 10, 10}, 42),
+		synth.Random(grid.Dims{9, 7, 6}, 3),
+	} {
+		f := lowerStarsField(t, vol)
+		counts := f.CriticalCounts()
+		if euler := counts[0] - counts[1] + counts[2] - counts[3]; euler != 1 {
+			t.Fatalf("Euler characteristic %d (counts %v)", euler, counts)
+		}
+	}
+}
+
+// TestLowerStarsVsGreedy compares the two constructions. Lower stars is
+// the tighter algorithm: it produces one critical cell per topology
+// change of the lower-star filtration, while the paper's greedy sweep
+// may leave extra (cancellable, low-persistence) critical pairs on noisy
+// data. So per index lower-stars counts never exceed the greedy counts,
+// minima (strict local minima under the total order) agree exactly, and
+// both satisfy Euler characteristic 1.
+func TestLowerStarsVsGreedy(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		vol := synth.Random(grid.Dims{9, 9, 9}, seed)
+		c1 := cube.New(vol.Dims, fullBlock(vol.Dims), vol)
+		greedy := Compute(c1, nil)
+		ls := lowerStarsField(t, vol)
+		g, l := greedy.CriticalCounts(), ls.CriticalCounts()
+		if l[0] != g[0] {
+			t.Errorf("seed %d: minima differ: greedy %d, lower-stars %d", seed, g[0], l[0])
+		}
+		for d := 0; d < 4; d++ {
+			if l[d] > g[d] {
+				t.Errorf("seed %d: lower-stars has more index-%d criticals (%d) than greedy (%d)",
+					seed, d, l[d], g[d])
+			}
+		}
+		gEuler := g[0] - g[1] + g[2] - g[3]
+		lEuler := l[0] - l[1] + l[2] - l[3]
+		if gEuler != 1 || lEuler != 1 {
+			t.Errorf("seed %d: Euler characteristics %d (greedy), %d (lower-stars)", seed, gEuler, lEuler)
+		}
+	}
+}
+
+// TestLowerStarsMinimaAreVertexMinima: with the lower-star construction,
+// critical vertices are exactly the vertices smaller than all their
+// lower-star neighbors, i.e. strict local minima under the total order.
+func TestLowerStarsMinimaAreVertexMinima(t *testing.T) {
+	vol := synth.Random(grid.Dims{8, 8, 8}, 9)
+	f := lowerStarsField(t, vol)
+	c := f.C
+	var cb [6]int
+	for idx := 0; idx < c.NumCells(); idx++ {
+		if c.Dim(idx) != 0 {
+			continue
+		}
+		isMin := true
+		for _, e := range c.Cofacets(idx, cb[:0]) {
+			var fb [6]int
+			for _, other := range c.Facets(e, fb[:0]) {
+				if other != idx && c.Compare(other, idx) < 0 {
+					isMin = false
+				}
+			}
+		}
+		if isMin != f.IsCritical(idx) {
+			t.Fatalf("vertex %d: local-min=%v critical=%v", idx, isMin, f.IsCritical(idx))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package grid
+
+// Addr is the global address of a cell: its linear index in the refined
+// gradient grid of the entire dataset, exactly as in the paper
+// (a = (i+Sx) + (j+Sy)·Xg + (k+Sz)·Xg·Yg, where Xg, Yg are refined-grid
+// side lengths and S is the block's refined offset). The address encodes
+// the geometric location of the cell in the volume, so two blocks agree
+// on the identity of cells on their shared boundary.
+type Addr uint64
+
+// AddrSpace performs address arithmetic for one dataset's refined grid.
+type AddrSpace struct {
+	RX, RY, RZ int // refined grid extents (2n-1 per dimension)
+}
+
+// NewAddrSpace builds the address space of a domain.
+func NewAddrSpace(dims Dims) AddrSpace {
+	r := dims.Refined()
+	return AddrSpace{RX: r[0], RY: r[1], RZ: r[2]}
+}
+
+// Encode converts a global refined coordinate to an address.
+func (s AddrSpace) Encode(x, y, z int) Addr {
+	return Addr(int64(x) + int64(y)*int64(s.RX) + int64(z)*int64(s.RX)*int64(s.RY))
+}
+
+// Decode converts an address back to global refined coordinates.
+func (s AddrSpace) Decode(a Addr) (x, y, z int) {
+	v := int64(a)
+	x = int(v % int64(s.RX))
+	v /= int64(s.RX)
+	y = int(v % int64(s.RY))
+	z = int(v / int64(s.RY))
+	return
+}
+
+// Dim returns the dimension (0..3) of the cell at an address: the number
+// of odd refined coordinates.
+func (s AddrSpace) Dim(a Addr) int {
+	x, y, z := s.Decode(a)
+	return x&1 + y&1 + z&1
+}
+
+// Cells returns the total number of cells in the refined grid.
+func (s AddrSpace) Cells() int64 {
+	return int64(s.RX) * int64(s.RY) * int64(s.RZ)
+}
+
+// VertexID returns the global vertex index (in the original grid) of a
+// vertex-cell address. It must only be called for 0-cells (all even
+// coordinates).
+func (s AddrSpace) VertexID(a Addr) int64 {
+	x, y, z := s.Decode(a)
+	nx := int64((s.RX + 1) / 2)
+	ny := int64((s.RY + 1) / 2)
+	return int64(x/2) + int64(y/2)*nx + int64(z/2)*nx*ny
+}

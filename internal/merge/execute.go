@@ -1,0 +1,121 @@
+package merge
+
+import (
+	"fmt"
+
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/mscomplex"
+	"parms/internal/vtime"
+)
+
+// Tag base for merge-round messages; the round index is added so that
+// successive rounds never cross-match.
+const tagMergeBase = 1 << 20
+
+// RoundStats reports one executed merge round, identical on all ranks.
+type RoundStats struct {
+	Radix int
+	// Seconds is the virtual duration of the round (max over ranks).
+	Seconds float64
+	// BytesSent is the total payload communicated in the round.
+	BytesSent float64
+	// Blocks is the number of surviving blocks after the round.
+	Blocks int
+}
+
+// Execute runs the merge rounds of the schedule over the per-block
+// complexes owned by this rank, under block-cyclic block-to-rank
+// assignment. complexes maps block id → complex for this rank's blocks;
+// it is mutated: non-root blocks are removed, root blocks are replaced
+// by the merged, re-simplified complex. Every rank of the cluster must
+// call Execute collectively. It returns per-round statistics (identical
+// on every rank).
+func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*mscomplex.Complex, threshold float32) ([]RoundStats, error) {
+	procs := r.Size()
+	stats := make([]RoundStats, 0, len(sched.Radices))
+	for round := range sched.Radices {
+		startT := r.AllreduceMaxTime()
+		startBytes := float64(r.BytesSent())
+		groups := sched.RoundGroups(nblocks, round)
+
+		// Phase 1: every non-root member owned by this rank sends its
+		// serialized complex to the root's owner. Sends are eager, so
+		// issuing all sends before any receive cannot deadlock.
+		stride := sched.Stride(round)
+		for _, g := range groups {
+			rootRank := grid.RankOfBlock(g.Root, procs)
+			for _, m := range g.Members {
+				if m == g.Root || grid.RankOfBlock(m, procs) != r.ID() {
+					continue
+				}
+				ms, ok := complexes[m]
+				if !ok {
+					return nil, fmt.Errorf("merge: rank %d does not hold block %d", r.ID(), m)
+				}
+				payload := ms.Serialize()
+				w := vtime.Work{BytesCoded: int64(len(payload))}
+				r.Compute(w)
+				// A same-rank transfer still goes through the mailbox
+				// (no network hops in the model, only a local copy).
+				r.Send(rootRank, tagMergeBase+round*16+(m-g.Root)/stride, payload)
+				delete(complexes, m)
+			}
+		}
+
+		// Phase 2: every root owned by this rank receives the group
+		// members, glues them in member order, and re-simplifies.
+		for _, g := range groups {
+			if grid.RankOfBlock(g.Root, procs) != r.ID() {
+				continue
+			}
+			root, ok := complexes[g.Root]
+			if !ok {
+				return nil, fmt.Errorf("merge: rank %d does not hold root block %d", r.ID(), g.Root)
+			}
+			for _, m := range g.Members {
+				if m == g.Root {
+					continue
+				}
+				srcRank := grid.RankOfBlock(m, procs)
+				payload, _ := r.Recv(srcRank, tagMergeBase+round*16+(m-g.Root)/stride)
+				other, err := mscomplex.Deserialize(payload)
+				if err != nil {
+					return nil, fmt.Errorf("merge: block %d from rank %d: %w", m, srcRank, err)
+				}
+				r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
+				workBefore := root.Work
+				root.Glue(other)
+				r.Compute(workDelta(root.Work, workBefore))
+			}
+			workBefore := root.Work
+			root.Simplify(mscomplex.SimplifyOptions{Threshold: threshold})
+			compacted := root.Compact() // carries root.Work plus its own ops
+			r.Compute(workDelta(compacted.Work, workBefore))
+			complexes[g.Root] = compacted
+		}
+
+		endT := r.AllreduceMaxTime()
+		bytes := r.AllreduceFloat64(float64(r.BytesSent())-startBytes, "sum")
+		stats = append(stats, RoundStats{
+			Radix:     sched.Radices[round],
+			Seconds:   endT - startT,
+			BytesSent: bytes,
+			Blocks:    (nblocks + sched.Stride(round+1) - 1) / sched.Stride(round+1),
+		})
+	}
+	return stats, nil
+}
+
+func workDelta(after, before vtime.Work) vtime.Work {
+	return vtime.Work{
+		CellsVisited:  after.CellsVisited - before.CellsVisited,
+		PairTests:     after.PairTests - before.PairTests,
+		PathSteps:     after.PathSteps - before.PathSteps,
+		Cancellations: after.Cancellations - before.Cancellations,
+		ArcsTouched:   after.ArcsTouched - before.ArcsTouched,
+		NodesGlued:    after.NodesGlued - before.NodesGlued,
+		BytesCoded:    after.BytesCoded - before.BytesCoded,
+		SortedItems:   after.SortedItems - before.SortedItems,
+	}
+}

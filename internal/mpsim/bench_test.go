@@ -1,0 +1,80 @@
+package mpsim
+
+import (
+	"testing"
+
+	"parms/internal/vtime"
+)
+
+func benchCluster(b *testing.B, procs int) *Cluster {
+	b.Helper()
+	c, err := New(Config{Procs: procs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkPingPong measures host-side message round-trip cost through
+// the mailbox substrate.
+func BenchmarkPingPong(b *testing.B) {
+	c := benchCluster(b, 2)
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	_, err := c.Run(func(r *Rank) error {
+		for i := 0; i < b.N; i++ {
+			if r.ID() == 0 {
+				r.Send(1, 1, payload)
+				r.Recv(1, 2)
+			} else {
+				r.Recv(0, 1)
+				r.Send(0, 2, payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier64 measures a 64-rank barrier.
+func BenchmarkBarrier64(b *testing.B) {
+	c := benchCluster(b, 64)
+	b.ResetTimer()
+	_, err := c.Run(func(r *Rank) error {
+		for i := 0; i < b.N; i++ {
+			r.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce256 measures a 256-rank allreduce.
+func BenchmarkAllreduce256(b *testing.B) {
+	c := benchCluster(b, 256)
+	b.ResetTimer()
+	_, err := c.Run(func(r *Rank) error {
+		for i := 0; i < b.N; i++ {
+			r.AllreduceFloat64(float64(r.ID()), "sum")
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkComputeModel measures the pure cost-model arithmetic.
+func BenchmarkComputeModel(b *testing.B) {
+	m := vtime.BlueGeneP()
+	w := vtime.Work{CellsVisited: 1000, PairTests: 4000, PathSteps: 200}
+	for i := 0; i < b.N; i++ {
+		if m.ComputeTime(w) <= 0 {
+			b.Fatal("bad time")
+		}
+	}
+}

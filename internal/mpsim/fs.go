@@ -1,0 +1,203 @@
+package mpsim
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"parms/internal/vtime"
+)
+
+// FS models the cluster's shared parallel filesystem. Files are byte
+// arrays addressable at arbitrary offsets, so many ranks can write
+// disjoint regions of the same file concurrently, as with MPI-IO file
+// views. Contents can be imported from and exported to the host
+// filesystem.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*file
+}
+
+type file struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewFS creates an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*file)}
+}
+
+func (fs *FS) open(name string, create bool) (*file, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("mpsim: file %q does not exist", name)
+		}
+		f = &file{}
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// Create makes (or truncates) a file.
+func (fs *FS) Create(name string) {
+	f, _ := fs.open(name, true)
+	f.mu.Lock()
+	f.data = f.data[:0]
+	f.mu.Unlock()
+}
+
+// WriteAt stores data at the given offset, growing the file as needed.
+func (fs *FS) WriteAt(name string, off int64, data []byte) error {
+	f, err := fs.open(name, true)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(data))
+	if int64(len(f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:end], data)
+	return nil
+}
+
+// ReadAt returns n bytes starting at off.
+func (fs *FS) ReadAt(name string, off int64, n int) ([]byte, error) {
+	f, err := fs.open(name, false)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off+int64(n) > int64(len(f.data)) {
+		return nil, fmt.Errorf("mpsim: read [%d,%d) out of bounds of %q (len %d)", off, off+int64(n), name, len(f.data))
+	}
+	out := make([]byte, n)
+	copy(out, f.data[off:])
+	return out, nil
+}
+
+// Size returns the current length of a file.
+func (fs *FS) Size(name string) (int64, error) {
+	f, err := fs.open(name, false)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data)), nil
+}
+
+// Put stores a whole file.
+func (fs *FS) Put(name string, data []byte) {
+	f, _ := fs.open(name, true)
+	f.mu.Lock()
+	f.data = append(f.data[:0], data...)
+	f.mu.Unlock()
+}
+
+// Get returns a copy of a whole file.
+func (fs *FS) Get(name string) ([]byte, error) {
+	f, err := fs.open(name, false)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// Names lists the files present, sorted.
+func (fs *FS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Import loads a host file into the virtual filesystem under the same
+// name.
+func (fs *FS) Import(hostPath, name string) error {
+	data, err := os.ReadFile(hostPath)
+	if err != nil {
+		return err
+	}
+	fs.Put(name, data)
+	return nil
+}
+
+// Export writes a virtual file out to the host filesystem.
+func (fs *FS) Export(name, hostPath string) error {
+	data, err := fs.Get(name)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(hostPath, data, 0o644)
+}
+
+// CollectiveWrite is the rank-side collective file write (MPI-IO style).
+// Every rank in the cluster must call it once per collective operation;
+// ranks with nothing to contribute pass an empty data slice (the paper's
+// "null write"). Offsets across ranks must not overlap. Clocks advance
+// by the modeled I/O time: all participants leave at the global
+// completion time, like a collective MPI_File_write_all.
+func (r *Rank) CollectiveWrite(name string, off int64, data []byte) error {
+	var err error
+	if len(data) > 0 {
+		err = r.cluster.fs.WriteAt(name, off, data)
+	}
+	r.ioAccount(int64(len(data)))
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// CollectiveRead is the rank-side collective file read. Every rank must
+// participate; n may be zero.
+func (r *Rank) CollectiveRead(name string, off int64, n int) ([]byte, error) {
+	var data []byte
+	var err error
+	if n > 0 {
+		data, err = r.cluster.fs.ReadAt(name, off, n)
+	}
+	r.ioAccount(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// ioAccount advances every participant's clock for one collective I/O
+// operation moving rankBytes on this rank. The total volume is combined
+// with an Allreduce (which also performs the collective synchronization
+// a two-phase MPI-IO operation implies).
+func (r *Rank) ioAccount(rankBytes int64) {
+	total := r.AllreduceFloat64(float64(rankBytes), "sum")
+	myTime := r.cluster.machine.IOTime(rankBytes, int64(total))
+	// All ranks complete together: the operation takes as long as the
+	// slowest participant.
+	finish := r.AllreduceFloat64(float64(r.Clock())+float64(myTime), "max")
+	r.clock.AdvanceTo(vtimeFromFloat(finish))
+}
+
+func vtimeFromFloat(s float64) vtime.Time { return vtime.Time(s) }
+
+// IOAccount advances every rank's clock for one collective I/O round in
+// which this rank moved rankBytes. It must be called collectively; ranks
+// that moved nothing pass 0 (the "null" participation of section IV-G).
+func (r *Rank) IOAccount(rankBytes int64) { r.ioAccount(rankBytes) }

@@ -1,0 +1,291 @@
+// Package mpsim is a message-passing substrate that stands in for MPI on
+// a distributed-memory machine. A Cluster runs one goroutine per rank;
+// ranks exchange byte-slice messages through matched Send/Recv calls and
+// synchronize through collectives, exactly as the paper's MPI
+// implementation does.
+//
+// Every rank carries a virtual clock (package vtime). Messages are
+// stamped with the sender's clock on departure, and the receiver's clock
+// advances to at least arrival time, so after a run the per-rank clocks
+// read like a trace of the same program executed on the modeled machine.
+// The message payloads and algorithmic results are real; only the
+// timestamps are modeled.
+package mpsim
+
+import (
+	"fmt"
+	"sync"
+
+	"parms/internal/torus"
+	"parms/internal/vtime"
+)
+
+// Config describes the virtual machine a Cluster models.
+type Config struct {
+	// Procs is the number of ranks (the paper's "processes"; BG/P smp
+	// mode maps one process per node).
+	Procs int
+	// Machine is the cost profile; nil selects vtime.BlueGeneP.
+	Machine *vtime.Machine
+	// Network is the interconnect; nil selects a near-cubic torus with
+	// at least Procs nodes.
+	Network *torus.Network
+	// MaxParallel bounds how many rank goroutines may execute
+	// simultaneously; 0 means unbounded. Virtual time is unaffected —
+	// this only caps real resource usage when simulating tens of
+	// thousands of ranks.
+	MaxParallel int
+	// Placement maps rank → torus node. nil means the identity (the
+	// default row-major BG/P mapping). Hop counts — and therefore
+	// modeled message latencies — follow the placement, so mapping
+	// experiments can quantify communication locality.
+	Placement []int
+}
+
+// Cluster is a virtual distributed-memory machine.
+type Cluster struct {
+	cfg     Config
+	machine *vtime.Machine
+	net     *torus.Network
+
+	mailboxes []*mailbox
+	fs        *FS
+	placement []int // nil = identity
+
+	gate chan struct{} // nil when MaxParallel == 0
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("mpsim: need at least 1 proc, got %d", cfg.Procs)
+	}
+	m := cfg.Machine
+	if m == nil {
+		m = vtime.BlueGeneP()
+	}
+	net := cfg.Network
+	if net == nil {
+		net = torus.New(cfg.Procs)
+	}
+	if cfg.Placement != nil && len(cfg.Placement) != cfg.Procs {
+		return nil, fmt.Errorf("mpsim: placement has %d entries for %d procs", len(cfg.Placement), cfg.Procs)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		machine:   m,
+		net:       net,
+		fs:        NewFS(),
+		placement: cfg.Placement,
+	}
+	c.mailboxes = make([]*mailbox, cfg.Procs)
+	for i := range c.mailboxes {
+		c.mailboxes[i] = newMailbox()
+	}
+	if cfg.MaxParallel > 0 {
+		c.gate = make(chan struct{}, cfg.MaxParallel)
+	}
+	return c, nil
+}
+
+// Procs returns the number of ranks.
+func (c *Cluster) Procs() int { return c.cfg.Procs }
+
+// Machine returns the cost profile in use.
+func (c *Cluster) Machine() *vtime.Machine { return c.machine }
+
+// Network returns the modeled interconnect.
+func (c *Cluster) Network() *torus.Network { return c.net }
+
+// FS returns the cluster's shared filesystem.
+func (c *Cluster) FS() *FS { return c.fs }
+
+// node returns the torus node a rank is placed on.
+func (c *Cluster) node(rank int) int {
+	if c.placement == nil {
+		return rank
+	}
+	return c.placement[rank]
+}
+
+// Run executes body once per rank, concurrently, and blocks until every
+// rank returns. It returns the per-rank final clocks and the first error
+// any rank reported. Mailboxes are reset before the run, so a Cluster
+// can host several consecutive programs.
+func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
+	for _, mb := range c.mailboxes {
+		mb.reset()
+	}
+	clocks := make([]vtime.Time, c.cfg.Procs)
+	errs := make([]error, c.cfg.Procs)
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{id: id, cluster: c}
+			// The gate bounds *host* parallelism. A rank must release
+			// it while blocked in Recv, otherwise held gate slots could
+			// starve the sender it is waiting for; acquire/release is
+			// handled inside the blocking primitives.
+			r.acquire()
+			defer r.release()
+			errs[id] = safeBody(body, r)
+			clocks[id] = r.clock.Now()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return clocks, err
+		}
+	}
+	return clocks, nil
+}
+
+func safeBody(body func(*Rank) error, r *Rank) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("rank %d panicked: %v", r.id, p)
+		}
+	}()
+	return body(r)
+}
+
+// Rank is the per-process handle passed to the Run body: rank identity,
+// virtual clock, messaging, collectives and filesystem access.
+type Rank struct {
+	id      int
+	cluster *Cluster
+	clock   vtime.Clock
+
+	bytesSent int64
+	msgsSent  int64
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the cluster.
+func (r *Rank) Size() int { return r.cluster.cfg.Procs }
+
+// Machine returns the cluster's cost profile.
+func (r *Rank) Machine() *vtime.Machine { return r.cluster.machine }
+
+// Clock returns the rank's current virtual time.
+func (r *Rank) Clock() vtime.Time { return r.clock.Now() }
+
+// BytesSent returns the total payload bytes this rank has sent.
+func (r *Rank) BytesSent() int64 { return r.bytesSent }
+
+// MessagesSent returns the number of point-to-point sends issued.
+func (r *Rank) MessagesSent() int64 { return r.msgsSent }
+
+// Compute advances the rank's clock by the modeled duration of the given
+// work tally.
+func (r *Rank) Compute(w vtime.Work) {
+	r.clock.Advance(r.cluster.machine.ComputeTime(w))
+}
+
+// Elapse advances the rank's clock by a literal number of modeled
+// seconds. The pipeline's measured-time mode uses this with real wall
+// clock durations.
+func (r *Rank) Elapse(seconds float64) {
+	r.clock.Advance(vtime.Time(seconds))
+}
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []byte
+	arrival  vtime.Time
+}
+
+// mailbox holds undelivered messages for one rank, with src+tag matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) reset() {
+	mb.mu.Lock()
+	mb.pending = nil
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and
+// removes it. AnySource (-1) matches any sender.
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// Send delivers data to rank dst with the given tag. It is buffered
+// ("eager" in MPI terms): the call returns as soon as the message is
+// enqueued. The payload is not copied; callers must not mutate it after
+// sending, as a real MPI program must not reuse a buffer before the
+// matching receive completes.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpsim: send to invalid rank %d (size %d)", dst, r.Size()))
+	}
+	m := r.cluster.machine
+	hops := r.cluster.net.Hops(r.cluster.node(r.id), r.cluster.node(dst))
+	transfer := m.MessageTime(len(data), hops)
+	// Sender pays the injection overhead; the wire time determines the
+	// arrival stamp.
+	r.clock.Advance(vtime.Time(m.MsgLatency))
+	arrival := r.clock.Now() + transfer
+	r.bytesSent += int64(len(data))
+	r.msgsSent++
+	r.cluster.mailboxes[dst].put(message{src: r.id, tag: tag, data: data, arrival: arrival})
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload and actual source. src may be AnySource.
+func (r *Rank) Recv(src, tag int) ([]byte, int) {
+	r.release()
+	msg := r.cluster.mailboxes[r.id].take(src, tag)
+	r.acquire()
+	r.clock.AdvanceTo(msg.arrival)
+	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
+	return msg.data, msg.src
+}
+
+func (r *Rank) acquire() {
+	if r.cluster.gate != nil {
+		r.cluster.gate <- struct{}{}
+	}
+}
+
+func (r *Rank) release() {
+	if r.cluster.gate != nil {
+		<-r.cluster.gate
+	}
+}

@@ -1,0 +1,362 @@
+package mpsim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"parms/internal/torus"
+	"parms/internal/vtime"
+)
+
+func newCluster(t *testing.T, procs int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSendRecv(t *testing.T) {
+	c := newCluster(t, 2)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Send(1, 7, []byte("hello"))
+			return nil
+		}
+		data, src := r.Recv(0, 7)
+		if string(data) != "hello" || src != 0 {
+			return fmt.Errorf("got %q from %d", data, src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMatchesSourceAndTag(t *testing.T) {
+	c := newCluster(t, 3)
+	_, err := c.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			r.Send(2, 1, []byte("from0tag1"))
+			r.Send(2, 2, []byte("from0tag2"))
+		case 1:
+			r.Send(2, 1, []byte("from1tag1"))
+		case 2:
+			// Receive out of arrival order: tag 2 first.
+			if d, _ := r.Recv(0, 2); string(d) != "from0tag2" {
+				return fmt.Errorf("tag 2: got %q", d)
+			}
+			if d, _ := r.Recv(1, 1); string(d) != "from1tag1" {
+				return fmt.Errorf("src 1: got %q", d)
+			}
+			if d, _ := r.Recv(0, 1); string(d) != "from0tag1" {
+				return fmt.Errorf("src 0 tag 1: got %q", d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageCausality(t *testing.T) {
+	c := newCluster(t, 2)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			r.Compute(vtime.Work{CellsVisited: 1e6}) // advance ~0.26s
+			sendTime := r.Clock()
+			r.Send(1, 0, make([]byte, 1000))
+			if r.Clock() < sendTime {
+				return fmt.Errorf("send rewound the clock")
+			}
+			return nil
+		}
+		before := r.Clock()
+		_, _ = r.Recv(0, 0)
+		after := r.Clock()
+		if after <= before {
+			return fmt.Errorf("recv did not advance clock: %v -> %v", before, after)
+		}
+		// The receiver cannot see the message before the sender's
+		// compute time plus network latency.
+		if after.Seconds() < 0.2 {
+			return fmt.Errorf("recv at %v precedes causal send time", after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 8, 17} {
+		c := newCluster(t, procs)
+		clocks, err := c.Run(func(r *Rank) error {
+			// Rank i computes i units of work, so clocks diverge.
+			r.Compute(vtime.Work{CellsVisited: int64(r.ID()) * 1e5})
+			r.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After a barrier every clock must be at least the slowest
+		// rank's pre-barrier time.
+		slowest := vtime.Time(float64(procs-1) * 1e5 * c.Machine().CellCost)
+		for i, clk := range clocks {
+			if clk < slowest {
+				t.Fatalf("procs=%d rank %d clock %v below slowest pre-barrier %v", procs, i, clk, slowest)
+			}
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, procs := range []int{1, 2, 5, 16} {
+		for root := 0; root < procs; root += 3 {
+			c := newCluster(t, procs)
+			_, err := c.Run(func(r *Rank) error {
+				var data []byte
+				if r.ID() == root {
+					data = []byte(fmt.Sprintf("payload-%d", root))
+				}
+				got := r.Bcast(root, data)
+				want := fmt.Sprintf("payload-%d", root)
+				if string(got) != want {
+					return fmt.Errorf("rank %d got %q want %q", r.ID(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("procs=%d root=%d: %v", procs, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, procs := range []int{1, 2, 7, 16} {
+		c := newCluster(t, procs)
+		wantSum := float64(procs*(procs-1)) / 2
+		_, err := c.Run(func(r *Rank) error {
+			x := float64(r.ID())
+			sum := r.AllreduceFloat64(x, "sum")
+			if sum != wantSum {
+				return fmt.Errorf("rank %d allreduce sum %v want %v", r.ID(), sum, wantSum)
+			}
+			max := r.AllreduceFloat64(x, "max")
+			if max != float64(procs-1) {
+				return fmt.Errorf("rank %d allreduce max %v", r.ID(), max)
+			}
+			min := r.AllreduceFloat64(x, "min")
+			if min != 0 {
+				return fmt.Errorf("rank %d allreduce min %v", r.ID(), min)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	c := newCluster(t, 9)
+	_, err := c.Run(func(r *Rank) error {
+		payload := []byte(fmt.Sprintf("rank%d", r.ID()))
+		parts := r.Gather(4, payload)
+		if r.ID() != 4 {
+			if parts != nil {
+				return fmt.Errorf("non-root got parts")
+			}
+			return nil
+		}
+		for i, p := range parts {
+			if want := fmt.Sprintf("rank%d", i); string(p) != want {
+				return fmt.Errorf("slot %d: %q want %q", i, p, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherInt64(t *testing.T) {
+	c := newCluster(t, 6)
+	_, err := c.Run(func(r *Rank) error {
+		got := r.AllgatherInt64(int64(r.ID() * 10))
+		for i, v := range got {
+			if v != int64(i*10) {
+				return fmt.Errorf("rank %d slot %d: %d", r.ID(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWriteRead(t *testing.T) {
+	c := newCluster(t, 4)
+	_, err := c.Run(func(r *Rank) error {
+		data := []byte{byte(r.ID()), byte(r.ID()), byte(r.ID()), byte(r.ID())}
+		if err := r.CollectiveWrite("f", int64(4*r.ID()), data); err != nil {
+			return err
+		}
+		r.Barrier()
+		got, err := r.CollectiveRead("f", int64(4*((r.ID()+1)%4)), 4)
+		if err != nil {
+			return err
+		}
+		want := byte((r.ID() + 1) % 4)
+		for _, b := range got {
+			if b != want {
+				return fmt.Errorf("rank %d read %v want %d", r.ID(), got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := c.FS().Size("f"); size != 16 {
+		t.Fatalf("file size %d want 16", size)
+	}
+}
+
+func TestNullWriteParticipation(t *testing.T) {
+	c := newCluster(t, 4)
+	clocks, err := c.Run(func(r *Rank) error {
+		var data []byte
+		if r.ID() == 0 {
+			data = make([]byte, 1<<20)
+		}
+		return r.CollectiveWrite("g", 0, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks leave a collective write at the same virtual time, even
+	// those that wrote nothing.
+	for i := 1; i < len(clocks); i++ {
+		if diff := clocks[i] - clocks[0]; diff < -1e-12 || diff > 1e-12 {
+			t.Fatalf("rank %d clock %v differs from rank 0 %v", i, clocks[i], clocks[0])
+		}
+	}
+}
+
+func TestMaxParallelBound(t *testing.T) {
+	const limit = 4
+	c, err := New(Config{Procs: 32, MaxParallel: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur, peak int64
+	_, err = c.Run(func(r *Rank) error {
+		// The gate bounds ranks that are executing (not parked in a
+		// blocking receive), so measure a purely computational section.
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		sum := 0
+		for i := 0; i < 100000; i++ {
+			sum += i
+		}
+		_ = sum
+		atomic.AddInt64(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > limit {
+		t.Fatalf("observed %d concurrent ranks, limit %d", peak, limit)
+	}
+}
+
+func TestRunReportsPanic(t *testing.T) {
+	c := newCluster(t, 2)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not reported as error")
+	}
+}
+
+func TestClusterReusableAcrossRuns(t *testing.T) {
+	c := newCluster(t, 3)
+	for run := 0; run < 3; run++ {
+		clocks, err := c.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, 5, []byte{1})
+			}
+			if r.ID() == 1 {
+				r.Recv(0, 5)
+			}
+			r.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		// Clocks restart from zero each run.
+		for i, clk := range clocks {
+			if clk > 1e-3 {
+				t.Fatalf("run %d rank %d clock %v too large for a fresh run", run, i, clk)
+			}
+		}
+	}
+}
+
+func TestPlacementAffectsLatency(t *testing.T) {
+	// Two ranks placed on adjacent nodes vs opposite torus corners: the
+	// far placement must cost more virtual time per message.
+	farNet := torus.New(512) // 8×8×8
+	run := func(placement []int) vtime.Time {
+		c, err := New(Config{Procs: 2, Placement: placement, Network: farNet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clocks, err := c.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				r.Send(1, 0, make([]byte, 1))
+			} else {
+				r.Recv(0, 0)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clocks[1]
+	}
+	near := run(nil) // identity: nodes 0 and 1 are torus neighbors
+	// Opposite corners of an 8×8×8 torus: 12 hops apart.
+	far := run([]int{0, farNet.Rank(4, 4, 4)})
+	if far <= near {
+		t.Fatalf("far placement (%v) not slower than near (%v)", far, near)
+	}
+}
+
+func TestPlacementValidated(t *testing.T) {
+	if _, err := New(Config{Procs: 4, Placement: []int{0, 1}}); err == nil {
+		t.Fatal("accepted wrong-length placement")
+	}
+}

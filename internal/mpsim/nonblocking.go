@@ -1,0 +1,172 @@
+package mpsim
+
+import "encoding/binary"
+
+// Request is a handle to a pending nonblocking receive, in the spirit of
+// MPI_Irecv/MPI_Wait. Sends in this substrate are always eager
+// (buffered), so a nonblocking send is just Send; receives are where
+// overlap matters — a merge root can post receives for all group
+// members and drain whichever arrives.
+type Request struct {
+	r        *Rank
+	src, tag int
+	done     bool
+	data     []byte
+	from     int
+}
+
+// Irecv posts a nonblocking receive. The returned request must be
+// completed with Wait (or Test until it reports completion).
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{r: r, src: src, tag: tag}
+}
+
+// Test reports whether a matching message is available, completing the
+// request if so, without blocking. Virtual time only advances when the
+// message is actually consumed.
+func (q *Request) Test() bool {
+	if q.done {
+		return true
+	}
+	mb := q.r.cluster.mailboxes[q.r.id]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.pending {
+		if (q.src == AnySource || m.src == q.src) && m.tag == q.tag {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			q.complete(m)
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the request completes and returns the payload and
+// source rank.
+func (q *Request) Wait() ([]byte, int) {
+	if !q.done {
+		m := q.r.cluster.mailboxes[q.r.id].take(q.src, q.tag)
+		q.complete(m)
+	}
+	return q.data, q.from
+}
+
+func (q *Request) complete(m message) {
+	q.r.clock.AdvanceTo(m.arrival)
+	q.r.clock.Advance(vtimeFromFloat(q.r.cluster.machine.RecvOverhead))
+	q.data, q.from, q.done = m.data, m.src, true
+}
+
+// WaitAny completes one of the pending requests (the first found ready,
+// else it blocks on the first incomplete request) and returns its index.
+// It mirrors MPI_Waitany for drain loops.
+func WaitAny(reqs []*Request) int {
+	for {
+		allDone := true
+		for i, q := range reqs {
+			if q.done {
+				continue
+			}
+			allDone = false
+			if q.Test() {
+				return i
+			}
+		}
+		if allDone {
+			return -1
+		}
+		// Nothing ready: block on the first incomplete request.
+		for i, q := range reqs {
+			if !q.done {
+				q.Wait()
+				return i
+			}
+		}
+	}
+}
+
+// Scatter distributes one payload per rank from the root: rank i
+// receives chunks[i]. Only the root's chunks argument is read. It
+// mirrors MPI_Scatterv.
+func (r *Rank) Scatter(root int, chunks [][]byte) []byte {
+	const tagScatter = 1<<28 + 16
+	if r.id == root {
+		var mine []byte
+		for dst, chunk := range chunks {
+			if dst == root {
+				mine = chunk
+				continue
+			}
+			r.Send(dst, tagScatter, chunk)
+		}
+		return mine
+	}
+	data, _ := r.Recv(root, tagScatter)
+	return data
+}
+
+// Alltoall exchanges one payload between every pair of ranks: the
+// returned slice holds, at index i, the payload rank i addressed to this
+// rank. send[j] is the payload this rank addresses to rank j.
+func (r *Rank) Alltoall(send [][]byte) [][]byte {
+	const tagA2A = 1<<28 + 17
+	if len(send) != r.Size() {
+		panic("mpsim: Alltoall needs one payload per rank")
+	}
+	out := make([][]byte, r.Size())
+	out[r.id] = send[r.id]
+	for dst, payload := range send {
+		if dst != r.id {
+			r.Send(dst, tagA2A, payload)
+		}
+	}
+	for i := 0; i < r.Size()-1; i++ {
+		data, src := r.Recv(AnySource, tagA2A)
+		out[src] = data
+	}
+	return out
+}
+
+// ReduceInt64 combines one int64 per rank at the root with the given
+// operation ("sum", "max", "min"); only the root's return value is
+// meaningful.
+func (r *Rank) ReduceInt64(root int, x int64, op string) int64 {
+	const tagRI = 1<<28 + 18
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(x))
+	combine := func(a, b []byte) []byte {
+		av := int64(binary.LittleEndian.Uint64(a))
+		bv := int64(binary.LittleEndian.Uint64(b))
+		var v int64
+		switch op {
+		case "max":
+			v = av
+			if bv > av {
+				v = bv
+			}
+		case "min":
+			v = av
+			if bv < av {
+				v = bv
+			}
+		default:
+			v = av + bv
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(v))
+		return out
+	}
+	res := r.reduceTree(tagRI, buf, combine)
+	if r.id != 0 {
+		res = buf
+	}
+	if root != 0 {
+		if r.id == 0 {
+			r.Send(root, tagRI+1, res)
+		}
+		if r.id == root {
+			res, _ = r.Recv(0, tagRI+1)
+		}
+	}
+	return int64(binary.LittleEndian.Uint64(res))
+}

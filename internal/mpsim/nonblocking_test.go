@@ -1,0 +1,154 @@
+package mpsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestIrecvWait(t *testing.T) {
+	c := newCluster(t, 2)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Irecv(1, 9)
+			// The message may not have arrived yet; Wait must block
+			// until it does.
+			data, src := req.Wait()
+			if string(data) != "payload" || src != 1 {
+				return fmt.Errorf("got %q from %d", data, src)
+			}
+			// Waiting again returns the same payload without blocking.
+			again, _ := req.Wait()
+			if string(again) != "payload" {
+				return fmt.Errorf("second wait got %q", again)
+			}
+			return nil
+		}
+		r.Send(0, 9, []byte("payload"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestNonBlocking(t *testing.T) {
+	c := newCluster(t, 2)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			req := r.Irecv(1, 3)
+			// Eventually the message arrives; Test must not deadlock
+			// and must eventually succeed.
+			for !req.Test() {
+			}
+			data, _ := req.Wait()
+			if string(data) != "x" {
+				return fmt.Errorf("got %q", data)
+			}
+			return nil
+		}
+		r.Send(0, 3, []byte("x"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAnyDrainsAll(t *testing.T) {
+	const senders = 5
+	c := newCluster(t, senders+1)
+	_, err := c.Run(func(r *Rank) error {
+		if r.ID() == senders {
+			reqs := make([]*Request, senders)
+			for i := range reqs {
+				reqs[i] = r.Irecv(i, 4)
+			}
+			seen := make([]bool, senders)
+			for n := 0; n < senders; n++ {
+				i := WaitAny(reqs)
+				if i < 0 {
+					return fmt.Errorf("WaitAny returned -1 with %d pending", senders-n)
+				}
+				data, src := reqs[i].Wait()
+				if src != i || len(data) != i+1 {
+					return fmt.Errorf("request %d: src %d len %d", i, src, len(data))
+				}
+				if seen[i] {
+					return fmt.Errorf("request %d completed twice", i)
+				}
+				seen[i] = true
+			}
+			return nil
+		}
+		r.Send(senders, 4, bytes.Repeat([]byte{1}, r.ID()+1))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	c := newCluster(t, 5)
+	_, err := c.Run(func(r *Rank) error {
+		var chunks [][]byte
+		if r.ID() == 2 {
+			for i := 0; i < 5; i++ {
+				chunks = append(chunks, []byte(fmt.Sprintf("chunk%d", i)))
+			}
+		}
+		got := r.Scatter(2, chunks)
+		want := fmt.Sprintf("chunk%d", r.ID())
+		if string(got) != want {
+			return fmt.Errorf("rank %d got %q want %q", r.ID(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	c := newCluster(t, 4)
+	_, err := c.Run(func(r *Rank) error {
+		send := make([][]byte, 4)
+		for dst := range send {
+			send[dst] = []byte(fmt.Sprintf("%d->%d", r.ID(), dst))
+		}
+		got := r.Alltoall(send)
+		for src, payload := range got {
+			want := fmt.Sprintf("%d->%d", src, r.ID())
+			if string(payload) != want {
+				return fmt.Errorf("rank %d slot %d: %q want %q", r.ID(), src, payload, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	c := newCluster(t, 6)
+	_, err := c.Run(func(r *Rank) error {
+		sum := r.ReduceInt64(3, int64(r.ID()), "sum")
+		if r.ID() == 3 && sum != 15 {
+			return fmt.Errorf("sum %d", sum)
+		}
+		max := r.ReduceInt64(0, int64(r.ID()*10), "max")
+		if r.ID() == 0 && max != 50 {
+			return fmt.Errorf("max %d", max)
+		}
+		min := r.ReduceInt64(0, int64(r.ID()+7), "min")
+		if r.ID() == 0 && min != 7 {
+			return fmt.Errorf("min %d", min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

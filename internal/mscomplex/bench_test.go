@@ -1,0 +1,96 @@
+package mscomplex
+
+import (
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/synth"
+)
+
+func benchField(b *testing.B, n int, features float64) *gradient.Field {
+	b.Helper()
+	vol := synth.Sinusoid(n, features)
+	block := grid.Block{Lo: [3]int{0, 0, 0}, Hi: [3]int{n - 1, n - 1, n - 1}}
+	return gradient.Compute(cube.New(vol.Dims, block, vol), nil)
+}
+
+func BenchmarkTrace32(b *testing.B) {
+	f := benchField(b, 33, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := FromField(f, nil, TraceOptions{})
+		if res.Complex.NumAliveNodes() == 0 {
+			b.Fatal("no nodes")
+		}
+	}
+}
+
+func BenchmarkSimplify32(b *testing.B) {
+	f := benchField(b, 33, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ms := FromField(f, nil, TraceOptions{}).Complex
+		b.StartTimer()
+		ms.Simplify(SimplifyOptions{Threshold: 0.02})
+	}
+}
+
+func BenchmarkSerialize32(b *testing.B) {
+	ms := FromField(benchField(b, 33, 4), nil, TraceOptions{}).Complex
+	ms.Simplify(SimplifyOptions{Threshold: 0.02})
+	compact := ms.Compact()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		payload := compact.Serialize()
+		bytes += int64(len(payload))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+func BenchmarkDeserialize32(b *testing.B) {
+	ms := FromField(benchField(b, 33, 4), nil, TraceOptions{}).Complex
+	ms.Simplify(SimplifyOptions{Threshold: 0.02})
+	payload := ms.Compact().Serialize()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Deserialize(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlue8Blocks(b *testing.B) {
+	vol := synth.Sinusoid(33, 4)
+	dec, err := grid.Decompose(vol.Dims, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := make([][]byte, dec.NumBlocks())
+	for i, blk := range dec.Blocks {
+		sub := vol.SubVolume(blk.Lo, blk.Hi)
+		f := gradient.Compute(cube.New(vol.Dims, blk, sub), dec)
+		ms := FromField(f, dec, TraceOptions{}).Complex
+		ms.Simplify(SimplifyOptions{Threshold: 0.02})
+		payloads[i] = ms.Compact().Serialize()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, err := Deserialize(payloads[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range payloads[1:] {
+			other, err := Deserialize(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			root.Glue(other)
+		}
+		root.Simplify(SimplifyOptions{Threshold: 0.02})
+	}
+}

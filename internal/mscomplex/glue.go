@@ -1,0 +1,143 @@
+package mscomplex
+
+import (
+	"math"
+	"sort"
+)
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Glue enlarges the receiver by gluing other onto it (section IV-F3).
+// The discrete gradients of the two regions are identical on their
+// shared boundary, so every critical cell on that boundary is a node of
+// both complexes; these shared nodes anchor the gluing:
+//
+//   - every node of other that is not already present (by cell address)
+//     is added;
+//   - every arc of other is added unless both of its endpoints lie on
+//     the boundary shared with the receiver's region, in which case the
+//     arc is guaranteed to exist in the receiver already;
+//   - the receiver's region becomes the union of the two regions, which
+//     reclassifies boundary status: nodes interior to the union become
+//     candidates for cancellation in the next simplification.
+func (c *Complex) Glue(other *Complex) {
+	// A node of other is "shared" when its cell is also contained in a
+	// block of the receiver's region.
+	sharedWithRoot := func(n *Node) bool {
+		for _, o := range n.Owners {
+			if c.InRegion(o) {
+				return true
+			}
+		}
+		return false
+	}
+
+	remap := make([]NodeID, len(other.Nodes))
+	for i := range other.Nodes {
+		n := &other.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		if id, ok := c.byCell[n.Cell]; ok {
+			remap[i] = id
+		} else {
+			remap[i] = c.AddNode(Node{
+				Cell:    n.Cell,
+				Index:   n.Index,
+				Value:   n.Value,
+				MaxVert: n.MaxVert,
+				Owners:  append([]int32(nil), n.Owners...),
+			})
+		}
+		c.Work.NodesGlued++
+	}
+
+	geomMemo := make(map[GeomID]GeomID)
+	for i := range other.Arcs {
+		a := &other.Arcs[i]
+		if !a.Alive {
+			continue
+		}
+		if sharedWithRoot(&other.Nodes[a.Upper]) && sharedWithRoot(&other.Nodes[a.Lower]) {
+			continue // both endpoints on the shared boundary: already present
+		}
+		geom := c.importGeom(other, a.Geom, geomMemo)
+		c.AddArc(remap[a.Upper], remap[a.Lower], geom)
+	}
+
+	// Union the regions.
+	merged := append(append([]int32(nil), c.Region...), other.Region...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	out := merged[:0]
+	var last int32 = -1
+	for _, b := range merged {
+		if b != last {
+			out = append(out, b)
+			last = b
+		}
+	}
+	c.Region = out
+	c.Hierarchy = append(c.Hierarchy, other.Hierarchy...)
+	// Note: other.Work is NOT folded in — it tallies operations already
+	// performed (and already charged to a clock) on the rank that
+	// computed the incoming complex. Only the gluing operations
+	// themselves (node insertions, arc additions) accrue here.
+}
+
+// importGeom deep-copies a geometry DAG from another complex,
+// preserving sharing: a child referenced by several composites is
+// imported once.
+func (c *Complex) importGeom(other *Complex, g GeomID, memo map[GeomID]GeomID) GeomID {
+	if id, ok := memo[g]; ok {
+		return id
+	}
+	geom := &other.Geoms[g]
+	var id GeomID
+	if geom.Parts == nil {
+		id = c.AddLeafGeom(geom.Cells)
+	} else {
+		parts := make([]GeomPart, len(geom.Parts))
+		for i, p := range geom.Parts {
+			parts[i] = GeomPart{ID: c.importGeom(other, p.ID, memo), Reversed: p.Reversed}
+		}
+		id = c.AddCompositeGeom(parts)
+	}
+	memo[g] = id
+	return id
+}
+
+// Compact rebuilds the complex keeping only alive nodes and arcs and the
+// geometry objects they reference (shared children once), releasing the
+// memory of cancelled elements — the paper's cleanup step that drops all
+// but the coarsest level of the hierarchy before communication. The
+// hierarchy record is preserved.
+func (c *Complex) Compact() *Complex {
+	out := New(c.Region)
+	out.Hierarchy = c.Hierarchy
+	out.Work = c.Work
+	remap := make([]NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		remap[i] = out.AddNode(Node{
+			Cell:    n.Cell,
+			Index:   n.Index,
+			Value:   n.Value,
+			MaxVert: n.MaxVert,
+			Owners:  n.Owners,
+		})
+	}
+	geomMemo := make(map[GeomID]GeomID)
+	for i := range c.Arcs {
+		a := &c.Arcs[i]
+		if !a.Alive {
+			continue
+		}
+		geom := out.importGeom(c, a.Geom, geomMemo)
+		out.AddArc(remap[a.Upper], remap[a.Lower], geom)
+	}
+	return out
+}

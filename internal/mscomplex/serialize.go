@@ -1,0 +1,360 @@
+package mscomplex
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"parms/internal/grid"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   u32 "MSC2"
+//	region  u32 count, then u32 block ids
+//	nodes   u32 count, then per node:
+//	          cell u64, index u8, value f32(bits), maxVert i64,
+//	          owners u16 count + u32 ids
+//	geoms   u32 count, then per geometry object (children precede
+//	        parents):
+//	          kind u8 (0 = leaf, 1 = composite)
+//	          leaf:      u32 cell count + u64 addresses
+//	          composite: u16 part count + per part u32 id, u8 reversed
+//	arcs    u32 count, then per arc:
+//	          upper u32, lower u32 (node slots), geom u32 (geom slot)
+//	hierarchy u32 count, then per cancellation:
+//	          persistence f32, upper cell u64, lower cell u64,
+//	          upper value f32, lower value f32,
+//	          arcs removed u32, arcs created u32
+//
+// Only alive nodes, alive arcs and the geometry objects they reference
+// are written. Geometry objects shared by several arcs (the references
+// created by cancellations, section IV-E) are stored exactly once — the
+// sharing is what keeps output sizes near the paper's, rather than the
+// exponentially larger flattened walks. The cancellation hierarchy
+// travels with the complex so the multi-resolution persistence curve
+// survives merging and storage.
+const serialMagic = 0x3243534d // "MSC2"
+
+// Serialize encodes the alive part of the complex for communication or
+// storage and returns the byte payload.
+func (c *Complex) Serialize() []byte {
+	nodeSlot := make([]int32, len(c.Nodes))
+	for i := range nodeSlot {
+		nodeSlot[i] = -1
+	}
+	var w writer
+	w.u32(serialMagic)
+	w.u32(uint32(len(c.Region)))
+	for _, b := range c.Region {
+		w.u32(uint32(b))
+	}
+	alive := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Alive {
+			nodeSlot[i] = int32(alive)
+			alive++
+		}
+	}
+	w.u32(uint32(alive))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		w.u64(uint64(n.Cell))
+		w.u8(n.Index)
+		w.f32(n.Value)
+		w.u64(uint64(n.MaxVert))
+		w.u16(uint16(len(n.Owners)))
+		for _, o := range n.Owners {
+			w.u32(uint32(o))
+		}
+	}
+
+	// Geometry objects reachable from alive arcs, children before
+	// parents so the reader can resolve references in one pass.
+	geomSlot := make(map[GeomID]uint32)
+	var geomOrder []GeomID
+	var visit func(g GeomID)
+	visit = func(g GeomID) {
+		if _, ok := geomSlot[g]; ok {
+			return
+		}
+		for _, p := range c.Geoms[g].Parts {
+			visit(p.ID)
+		}
+		geomSlot[g] = uint32(len(geomOrder))
+		geomOrder = append(geomOrder, g)
+	}
+	arcCount := 0
+	for i := range c.Arcs {
+		if c.Arcs[i].Alive {
+			arcCount++
+			visit(c.Arcs[i].Geom)
+		}
+	}
+	w.u32(uint32(len(geomOrder)))
+	for _, g := range geomOrder {
+		geom := &c.Geoms[g]
+		if geom.Parts == nil {
+			w.u8(0)
+			w.u32(uint32(len(geom.Cells)))
+			for _, cell := range geom.Cells {
+				w.u64(uint64(cell))
+			}
+		} else {
+			w.u8(1)
+			w.u16(uint16(len(geom.Parts)))
+			for _, p := range geom.Parts {
+				w.u32(geomSlot[p.ID])
+				if p.Reversed {
+					w.u8(1)
+				} else {
+					w.u8(0)
+				}
+			}
+		}
+	}
+
+	w.u32(uint32(arcCount))
+	for i := range c.Arcs {
+		a := &c.Arcs[i]
+		if !a.Alive {
+			continue
+		}
+		w.u32(uint32(nodeSlot[a.Upper]))
+		w.u32(uint32(nodeSlot[a.Lower]))
+		w.u32(geomSlot[a.Geom])
+	}
+
+	w.u32(uint32(len(c.Hierarchy)))
+	for _, h := range c.Hierarchy {
+		w.f32(h.Persistence)
+		w.u64(uint64(h.UpperCell))
+		w.u64(uint64(h.LowerCell))
+		w.f32(h.UpperValue)
+		w.f32(h.LowerValue)
+		w.u32(uint32(h.ArcsRemoved))
+		w.u32(uint32(h.ArcsCreated))
+	}
+	c.Work.BytesCoded += int64(len(w.buf))
+	return w.buf
+}
+
+// Deserialize decodes a serialized complex. Every count is validated
+// against the remaining payload before anything is allocated, so a
+// corrupted or truncated payload returns an error instead of attempting
+// an enormous allocation.
+func Deserialize(data []byte) (*Complex, error) {
+	r := reader{buf: data}
+	if r.u32() != serialMagic {
+		return nil, fmt.Errorf("mscomplex: bad magic")
+	}
+	nRegion := int(r.u32())
+	if !r.fits(nRegion, 4) {
+		return nil, fmt.Errorf("mscomplex: region count %d exceeds payload", nRegion)
+	}
+	region := make([]int32, nRegion)
+	for i := range region {
+		region[i] = int32(r.u32())
+	}
+	c := New(region)
+	nNodes := int(r.u32())
+	if !r.fits(nNodes, 8+1+4+8+2) {
+		return nil, fmt.Errorf("mscomplex: node count %d exceeds payload", nNodes)
+	}
+	ids := make([]NodeID, nNodes)
+	for i := 0; i < nNodes; i++ {
+		var n Node
+		n.Cell = grid.Addr(r.u64())
+		n.Index = r.u8()
+		n.Value = r.f32()
+		n.MaxVert = int64(r.u64())
+		nOwners := int(r.u16())
+		if !r.fits(nOwners, 4) {
+			return nil, fmt.Errorf("mscomplex: owner count %d exceeds payload", nOwners)
+		}
+		n.Owners = make([]int32, nOwners)
+		for j := range n.Owners {
+			n.Owners[j] = int32(r.u32())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n.Index > 3 {
+			return nil, fmt.Errorf("mscomplex: node %d has index %d", i, n.Index)
+		}
+		if _, dup := c.NodeAt(n.Cell); dup {
+			return nil, fmt.Errorf("mscomplex: duplicate node at cell %d", n.Cell)
+		}
+		ids[i] = c.AddNode(n)
+	}
+
+	nGeoms := int(r.u32())
+	if !r.fits(nGeoms, 1) {
+		return nil, fmt.Errorf("mscomplex: geometry count %d exceeds payload", nGeoms)
+	}
+	geomIDs := make([]GeomID, nGeoms)
+	for i := 0; i < nGeoms; i++ {
+		switch kind := r.u8(); kind {
+		case 0:
+			nCells := int(r.u32())
+			if !r.fits(nCells, 8) {
+				return nil, fmt.Errorf("mscomplex: geometry cell count %d exceeds payload", nCells)
+			}
+			cells := make([]grid.Addr, nCells)
+			for j := range cells {
+				cells[j] = grid.Addr(r.u64())
+			}
+			geomIDs[i] = c.AddLeafGeom(cells)
+		case 1:
+			nParts := int(r.u16())
+			if !r.fits(nParts, 5) {
+				return nil, fmt.Errorf("mscomplex: geometry part count %d exceeds payload", nParts)
+			}
+			parts := make([]GeomPart, nParts)
+			for j := range parts {
+				slot := int(r.u32())
+				rev := r.u8() == 1
+				if slot >= i {
+					return nil, fmt.Errorf("mscomplex: geometry %d references later object %d", i, slot)
+				}
+				parts[j] = GeomPart{ID: geomIDs[slot], Reversed: rev}
+			}
+			geomIDs[i] = c.AddCompositeGeom(parts)
+		default:
+			return nil, fmt.Errorf("mscomplex: unknown geometry kind %d", kind)
+		}
+	}
+
+	nArcs := int(r.u32())
+	if !r.fits(nArcs, 12) {
+		return nil, fmt.Errorf("mscomplex: arc count %d exceeds payload", nArcs)
+	}
+	for i := 0; i < nArcs; i++ {
+		upper := int(r.u32())
+		lower := int(r.u32())
+		geomSlot := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if upper >= nNodes || lower >= nNodes {
+			return nil, fmt.Errorf("mscomplex: arc %d references node out of range", i)
+		}
+		if geomSlot >= nGeoms {
+			return nil, fmt.Errorf("mscomplex: arc %d references geometry out of range", i)
+		}
+		if c.Nodes[ids[upper]].Index != c.Nodes[ids[lower]].Index+1 {
+			return nil, fmt.Errorf("mscomplex: arc %d connects index %d to %d",
+				i, c.Nodes[ids[upper]].Index, c.Nodes[ids[lower]].Index)
+		}
+		c.AddArc(ids[upper], ids[lower], geomIDs[geomSlot])
+	}
+
+	nHier := int(r.u32())
+	if !r.fits(nHier, 36) {
+		return nil, fmt.Errorf("mscomplex: hierarchy count %d exceeds payload", nHier)
+	}
+	if r.err == nil {
+		c.Hierarchy = make([]Cancellation, 0, nHier)
+		for i := 0; i < nHier; i++ {
+			c.Hierarchy = append(c.Hierarchy, Cancellation{
+				Persistence: r.f32(),
+				UpperCell:   grid.Addr(r.u64()),
+				LowerCell:   grid.Addr(r.u64()),
+				UpperValue:  r.f32(),
+				LowerValue:  r.f32(),
+				ArcsRemoved: int(r.u32()),
+				ArcsCreated: int(r.u32()),
+			})
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	c.Work.BytesCoded += int64(len(data))
+	return c, nil
+}
+
+// SerializedSize returns the exact number of bytes Serialize would emit,
+// without building the payload.
+func (c *Complex) SerializedSize() int64 {
+	size := int64(4 + 4 + 4*len(c.Region) + 4)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		size += 8 + 1 + 4 + 8 + 2 + 4*int64(len(n.Owners))
+	}
+	size += 4 // geometry count
+	seen := make(map[GeomID]bool)
+	var visit func(g GeomID)
+	visit = func(g GeomID) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		geom := &c.Geoms[g]
+		if geom.Parts == nil {
+			size += 1 + 4 + 8*int64(len(geom.Cells))
+			return
+		}
+		size += 1 + 2 + 5*int64(len(geom.Parts))
+		for _, p := range geom.Parts {
+			visit(p.ID)
+		}
+	}
+	size += 4 // arc count
+	for i := range c.Arcs {
+		if !c.Arcs[i].Alive {
+			continue
+		}
+		visit(c.Arcs[i].Geom)
+		size += 4 + 4 + 4
+	}
+	size += 4 + 36*int64(len(c.Hierarchy))
+	return size
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) f32(v float32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, f32bits(v))
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("mscomplex: truncated payload at offset %d", r.off)
+		}
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// fits reports whether count elements of at least minSize bytes each
+// could still be present in the remaining payload.
+func (r *reader) fits(count, minSize int) bool {
+	return r.err == nil && count >= 0 && count <= (len(r.buf)-r.off)/minSize
+}
+
+func (r *reader) u8() uint8   { return r.take(1)[0] }
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *reader) f32() float32 {
+	return f32frombits(binary.LittleEndian.Uint32(r.take(4)))
+}

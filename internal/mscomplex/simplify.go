@@ -1,0 +1,243 @@
+package mscomplex
+
+import (
+	"container/heap"
+)
+
+// SimplifyOptions controls persistence-based simplification.
+type SimplifyOptions struct {
+	// Threshold is the maximum persistence of a cancellation. Pairs
+	// with strictly greater persistence survive.
+	Threshold float32
+	// MaxFanout skips a cancellation when it would create more than
+	// this many new arcs (a safeguard against quadratic blowup in
+	// pathological data); 0 means the default (100000).
+	MaxFanout int
+}
+
+// SimplifyStats reports what a Simplify call did.
+type SimplifyStats struct {
+	Cancellations int
+	ArcsRemoved   int
+	ArcsCreated   int
+	SkippedFanout int
+}
+
+type candidate struct {
+	pers      float32
+	upperCell uint64
+	lowerCell uint64
+	arc       ArcID
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.pers != b.pers {
+		return a.pers < b.pers
+	}
+	if a.upperCell != b.upperCell {
+		return a.upperCell < b.upperCell
+	}
+	if a.lowerCell != b.lowerCell {
+		return a.lowerCell < b.lowerCell
+	}
+	return a.arc < b.arc
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simplify repeatedly cancels the lowest-persistence valid pair of
+// critical nodes until no cancellable pair with persistence at or below
+// the threshold remains. A pair is cancellable when its two nodes are
+// connected by exactly one arc and neither node lies on a boundary
+// shared with blocks outside the complex's region (section IV-E: arcs
+// with boundary nodes are never considered).
+func (c *Complex) Simplify(opts SimplifyOptions) SimplifyStats {
+	maxFanout := opts.MaxFanout
+	if maxFanout <= 0 {
+		maxFanout = 100000
+	}
+	// A new simplification invalidates any redo history beyond the
+	// current hierarchy position (like editing after an undo).
+	c.undo = c.undo[:c.applied]
+	var stats SimplifyStats
+
+	boundary := make([]bool, len(c.Nodes))
+	for i := range c.Nodes {
+		if c.Nodes[i].Alive {
+			boundary[i] = c.IsBoundaryNode(NodeID(i))
+		}
+	}
+
+	h := &candidateHeap{}
+	push := func(a ArcID) {
+		arc := &c.Arcs[a]
+		if !arc.Alive {
+			return
+		}
+		if boundary[arc.Upper] || boundary[arc.Lower] {
+			return
+		}
+		p := c.Persistence(a)
+		if p > opts.Threshold {
+			return
+		}
+		heap.Push(h, candidate{
+			pers:      p,
+			upperCell: uint64(c.Nodes[arc.Upper].Cell),
+			lowerCell: uint64(c.Nodes[arc.Lower].Cell),
+			arc:       a,
+		})
+	}
+	for a := range c.Arcs {
+		push(ArcID(a))
+	}
+
+	var arcBuf []ArcID
+	for h.Len() > 0 {
+		cand := heap.Pop(h).(candidate)
+		arc := &c.Arcs[cand.arc]
+		if !arc.Alive {
+			continue
+		}
+		u, v := arc.Lower, arc.Upper
+		if c.Multiplicity(u, v) != 1 {
+			continue // connected by more than one arc: not cancellable
+		}
+		// Gather the surviving neighborhood before surgery.
+		// ups: index d+1 neighbors of u other than v.
+		// downs: index d neighbors of v other than u.
+		var ups, downs []ArcID
+		arcBuf = arcBuf[:0]
+		for _, a := range c.ArcsOf(u, arcBuf) {
+			if other := c.OtherEnd(a, u); other != v {
+				if c.Arcs[a].Upper == u {
+					continue // u is the upper end: neighbor has index d-1
+				}
+				ups = append(ups, a)
+			}
+		}
+		arcBuf = arcBuf[:0]
+		for _, a := range c.ArcsOf(v, arcBuf) {
+			if other := c.OtherEnd(a, v); other != u {
+				if c.Arcs[a].Lower == v {
+					continue // v is the lower end: neighbor has index d+2
+				}
+				downs = append(downs, a)
+			}
+		}
+		if len(ups)*len(downs) > maxFanout {
+			stats.SkippedFanout++
+			continue
+		}
+
+		// Remove the cancelled pair and every arc touching it,
+		// recording what changes so the hierarchy can be navigated
+		// back (hierarchy.go).
+		rec := undoRecord{lower: u, upper: v}
+		arcBuf = arcBuf[:0]
+		for _, a := range c.ArcsOf(u, arcBuf) {
+			c.Arcs[a].Alive = false
+			rec.removedArcs = append(rec.removedArcs, a)
+		}
+		arcBuf = arcBuf[:0]
+		for _, a := range c.ArcsOf(v, arcBuf) {
+			c.Arcs[a].Alive = false
+			rec.removedArcs = append(rec.removedArcs, a)
+		}
+		removed := len(rec.removedArcs)
+		c.Nodes[u].Alive = false
+		c.Nodes[v].Alive = false
+		c.Work.ArcsTouched += int64(removed)
+
+		// Reconnect: every upper neighbor q of u to every lower
+		// neighbor p of v, with geometry q→u, u→v (reversed arc), v→p.
+		// Parallel records between one (q, p) pair are clamped at two:
+		// multiplicity never decreases while both endpoints live, so
+		// "≥ 2" blocks cancellation identically however large it is.
+		created := 0
+		pairCount := make(map[[2]NodeID]int)
+		countedQ := make(map[NodeID]bool)
+		for _, qa := range ups {
+			q := c.Arcs[qa].Upper
+			if !countedQ[q] {
+				countedQ[q] = true
+				arcBuf = arcBuf[:0]
+				for _, a := range c.ArcsOf(q, arcBuf) {
+					if c.Arcs[a].Upper == q {
+						pairCount[[2]NodeID{q, c.Arcs[a].Lower}]++
+					}
+				}
+			}
+			for _, pa := range downs {
+				p := c.Arcs[pa].Lower
+				key := [2]NodeID{q, p}
+				if pairCount[key] >= 2 {
+					continue
+				}
+				pairCount[key]++
+				geom := c.AddCompositeGeom([]GeomPart{
+					{ID: c.Arcs[qa].Geom},
+					{ID: arc.Geom, Reversed: true},
+					{ID: c.Arcs[pa].Geom},
+				})
+				na := c.AddArc(q, p, geom)
+				rec.createdArcs = append(rec.createdArcs, na)
+				created++
+				push(na)
+			}
+		}
+
+		c.undo = append(c.undo, rec)
+		c.applied = len(c.undo)
+		c.Hierarchy = append(c.Hierarchy, Cancellation{
+			Persistence: cand.pers,
+			UpperCell:   c.Nodes[v].Cell,
+			LowerCell:   c.Nodes[u].Cell,
+			UpperValue:  c.Nodes[v].Value,
+			LowerValue:  c.Nodes[u].Value,
+			ArcsRemoved: removed,
+			ArcsCreated: created,
+		})
+		c.Work.Cancellations++
+		stats.Cancellations++
+		stats.ArcsRemoved += removed
+		stats.ArcsCreated += created
+	}
+	return stats
+}
+
+// LowestCancellable returns the lowest persistence among currently
+// cancellable pairs, and false if none exists. Tests use it to verify
+// that Simplify left nothing below its threshold.
+func (c *Complex) LowestCancellable() (float32, bool) {
+	best := float32(0)
+	found := false
+	for a := range c.Arcs {
+		arc := &c.Arcs[a]
+		if !arc.Alive {
+			continue
+		}
+		if c.IsBoundaryNode(arc.Upper) || c.IsBoundaryNode(arc.Lower) {
+			continue
+		}
+		if c.Multiplicity(arc.Lower, arc.Upper) != 1 {
+			continue
+		}
+		p := c.Persistence(ArcID(a))
+		if !found || p < best {
+			best, found = p, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,284 @@
+package mscomplex
+
+import (
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+)
+
+// TraceOptions bounds the V-path enumeration.
+type TraceOptions struct {
+	// MaxArcsPerPair caps the number of arc records created between one
+	// pair of critical cells when many distinct V-paths connect them
+	// (braided flow on plateaus); 0 means the default (2). Two records
+	// always survive when more than one path exists, which preserves
+	// cancellation validity exactly: arcs only ever disappear together
+	// with an endpoint, so a pair's multiplicity never decreases while
+	// both endpoints live, and "≥ 2" permanently blocks cancellation
+	// regardless of the exact count.
+	MaxArcsPerPair int
+}
+
+// TraceResult is the traced complex plus diagnostics.
+type TraceResult struct {
+	Complex *Complex
+	// Truncated counts (saddle, saddle) pairs whose arc multiplicity
+	// exceeded MaxArcsPerPair and was clamped.
+	Truncated int
+}
+
+// FromField traces the MS complex 1-skeleton of one block from its
+// discrete gradient field. All critical cells become nodes; descending
+// V-paths are walked from each node, and an arc is added for every
+// distinct V-path terminating at a critical cell, with a traversed cell
+// list recorded as the arc's geometric embedding. Paths are guaranteed
+// to terminate inside the block because boundary gradient arrows are
+// restricted.
+//
+// Distinct V-paths between the same pair of critical cells are counted
+// exactly (saturating) with a linear-time dynamic program over the
+// descending reachability DAG, instead of enumerating every path — path
+// enumeration is exponential in braided plateau regions. One
+// representative geometry (the first-discovery path) is shared by the
+// arc records of a multi-path pair.
+//
+// dec supplies block ownership for node boundary classification; nil
+// means the single-block (serial) case.
+func FromField(f *gradient.Field, dec *grid.Decomposition, opts TraceOptions) *TraceResult {
+	c := f.C
+	maxArcs := opts.MaxArcsPerPair
+	if maxArcs <= 0 {
+		maxArcs = 2
+	}
+	ms := New([]int32{int32(c.Block.ID)})
+	res := &TraceResult{Complex: ms}
+
+	criticals := f.CriticalCells()
+	for _, ci := range criticals {
+		idx := int(ci)
+		var kb [8]cube.VertKey
+		keys := c.VertKeys(idx, kb[:])
+		owners := []int32{int32(c.Block.ID)}
+		if dec != nil {
+			gx, gy, gz := c.GlobalCoords(idx)
+			ob := dec.OwnersOfRefined(c.Block.ID, gx, gy, gz)
+			owners = owners[:0]
+			for _, o := range ob {
+				owners = append(owners, int32(o))
+			}
+		}
+		ms.AddNode(Node{
+			Cell:    c.GlobalAddr(idx),
+			Index:   uint8(c.Dim(idx)),
+			Value:   keys[0].Val,
+			MaxVert: keys[0].ID,
+			Owners:  owners,
+		})
+	}
+
+	tr := &tracer{f: f, ms: ms, maxArcs: maxArcs}
+	for _, ci := range criticals {
+		if c.Dim(int(ci)) == 0 {
+			continue
+		}
+		res.Truncated += tr.traceFrom(int(ci))
+	}
+	ms.Work.PathSteps += tr.steps
+	return res
+}
+
+// pathCountCap saturates V-path multiplicity counts.
+const pathCountCap = 1 << 20
+
+type tracer struct {
+	f       *gradient.Field
+	ms      *Complex
+	maxArcs int
+	steps   int64
+
+	// Per-start scratch, indexed by cell and validated by an epoch
+	// counter so it is cleared in O(1) between starts.
+	order   []int   // reverse-finish (reverse topological) order
+	parent  []int32 // first-discovery predecessor tail (-1 = start)
+	count   []int32 // number of V-paths start → tail, saturating
+	seen    []int32 // epoch at which the cell was discovered
+	visited []int32 // epoch at which the cell was DFS-expanded
+	epoch   int32
+}
+
+func (t *tracer) reset() {
+	n := t.f.C.NumCells()
+	if len(t.parent) != n {
+		t.parent = make([]int32, n)
+		t.count = make([]int32, n)
+		t.seen = make([]int32, n)
+		t.visited = make([]int32, n)
+	}
+	t.epoch++
+	t.order = t.order[:0]
+}
+
+func (t *tracer) discover(cell, parent int) {
+	if t.seen[cell] != t.epoch {
+		t.seen[cell] = t.epoch
+		t.parent[cell] = int32(parent)
+		t.count[cell] = 0
+	}
+}
+
+// successor enumeration: from tail cell a (dimension d-1), the V-path
+// continues through a's paired head (dimension d) into the head's other
+// facets. Critical cells are terminals; cells paired downward are dead
+// ends.
+func (t *tracer) successors(a int, emit func(next int)) {
+	c := t.f.C
+	head, ok := t.f.PairedWith(a)
+	if !ok || c.Dim(head) != c.Dim(a)+1 {
+		return
+	}
+	var fb [6]int
+	for _, next := range c.Facets(head, fb[:0]) {
+		if next != a {
+			emit(next)
+		}
+	}
+}
+
+// traceFrom computes, for critical cell start of dimension d, the exact
+// (saturating) number of descending V-paths to every reachable critical
+// (d-1)-cell, and adds the corresponding arcs. It returns the number of
+// pairs whose arc records were clamped.
+func (t *tracer) traceFrom(start int) int {
+	c := t.f.C
+	origin, ok := t.ms.NodeAt(c.GlobalAddr(start))
+	if !ok {
+		panic("mscomplex: tracing from a cell with no node")
+	}
+
+	t.reset()
+
+	// Iterative DFS over tail cells to produce a reverse topological
+	// order of the reachability DAG (V-fields are acyclic, so finish
+	// order is well defined).
+	type frame struct {
+		cell     int
+		next     [5]int
+		nNext    int
+		expanded bool
+	}
+	var stack []frame
+	var fb [6]int
+	roots := c.Facets(start, fb[:0])
+	for _, r := range roots {
+		t.discover(r, -1)
+	}
+	for _, r := range roots {
+		if t.visited[r] == t.epoch {
+			continue
+		}
+		stack = append(stack[:0], frame{cell: r})
+		t.visited[r] = t.epoch
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if !f.expanded {
+				f.expanded = true
+				if !t.f.IsCritical(f.cell) {
+					t.successors(f.cell, func(n int) {
+						f.next[f.nNext] = n
+						f.nNext++
+					})
+				}
+			}
+			if f.nNext == 0 {
+				t.order = append(t.order, f.cell)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			f.nNext--
+			n := f.next[f.nNext]
+			t.discover(n, f.cell)
+			if t.visited[n] != t.epoch {
+				t.visited[n] = t.epoch
+				stack = append(stack, frame{cell: n})
+			}
+		}
+	}
+	t.steps += int64(len(t.order))
+
+	// Forward dynamic program in topological order (reverse of the
+	// finish order): path counts from start. Duplicate roots cannot
+	// occur (facets are distinct), so each root starts with exactly one
+	// path: the direct step from start.
+	for _, r := range roots {
+		if t.count[r] < pathCountCap {
+			t.count[r]++
+		}
+	}
+	for i := len(t.order) - 1; i >= 0; i-- {
+		cell := t.order[i]
+		cnt := t.count[cell]
+		if cnt == 0 || t.f.IsCritical(cell) {
+			continue
+		}
+		t.successors(cell, func(n int) {
+			nc := t.count[n] + cnt
+			if nc > pathCountCap {
+				nc = pathCountCap
+			}
+			t.count[n] = nc
+		})
+	}
+
+	// Emit arcs for every reachable critical terminal.
+	truncated := 0
+	for _, cell := range t.order {
+		if !t.f.IsCritical(cell) {
+			continue
+		}
+		cnt := int(t.count[cell])
+		if cnt == 0 {
+			continue
+		}
+		lower, ok := t.ms.NodeAt(c.GlobalAddr(cell))
+		if !ok {
+			panic("mscomplex: critical terminal with no node")
+		}
+		geom := t.ms.AddLeafGeom(t.reconstruct(start, cell))
+		records := cnt
+		if records > t.maxArcs {
+			records = t.maxArcs
+			truncated++
+		}
+		for k := 0; k < records; k++ {
+			t.ms.AddArc(origin, lower, geom)
+		}
+	}
+	return truncated
+}
+
+// reconstruct builds the representative geometry for the first-discovery
+// path start → terminal: alternating (head, tail) cells ending at the
+// terminal, starting at the origin cell.
+func (t *tracer) reconstruct(start, terminal int) []grid.Addr {
+	c := t.f.C
+	// Walk parents from terminal back to a root facet.
+	var rev []int
+	for cell := terminal; cell != -1; cell = int(t.parent[cell]) {
+		rev = append(rev, cell)
+	}
+	cells := make([]grid.Addr, 0, 2*len(rev)+1)
+	cells = append(cells, c.GlobalAddr(start))
+	for i := len(rev) - 1; i >= 0; i-- {
+		tail := rev[i]
+		cells = append(cells, c.GlobalAddr(tail))
+		if i > 0 {
+			// The head through which the path continues from tail.
+			head, ok := t.f.PairedWith(tail)
+			if ok && c.Dim(head) == c.Dim(tail)+1 {
+				cells = append(cells, c.GlobalAddr(head))
+			}
+		}
+	}
+	t.steps += int64(len(cells))
+	return cells
+}

@@ -1,0 +1,168 @@
+// Package pario implements the pipeline's parallel I/O: raw volume
+// files read block-by-block with MPI-IO-style subarray views, and the
+// output file format for merged MS complex blocks — a binary
+// concatenation of block payloads followed by a footer that indexes the
+// complexes contained in the file, as documented in the paper (section
+// IV-G).
+package pario
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/mscomplex"
+)
+
+// WriteVolume stores a volume into the cluster filesystem as raw
+// little-endian samples in x-fastest order.
+func WriteVolume(fs *mpsim.FS, name string, v *grid.Volume) {
+	fs.Put(name, v.Bytes())
+}
+
+// ReadBlockVolume extracts one block's closed vertex box from a raw
+// volume file. It reads row by row (the subarray view), converting
+// samples to float32. The caller accounts the I/O time separately via
+// Rank.IOAccount, because several ranks read collectively.
+func ReadBlockVolume(fs *mpsim.FS, name string, dims grid.Dims, dt grid.DType, b grid.Block) (*grid.Volume, error) {
+	bd := b.Dims()
+	out := grid.NewVolume(bd)
+	ss := int64(dt.Size())
+	rowBytes := int(ss) * bd[0]
+	for z := 0; z < bd[2]; z++ {
+		for y := 0; y < bd[1]; y++ {
+			off := ss * (int64(b.Lo[0]) +
+				int64(b.Lo[1]+y)*int64(dims[0]) +
+				int64(b.Lo[2]+z)*int64(dims[0])*int64(dims[1]))
+			raw, err := fs.ReadAt(name, off, rowBytes)
+			if err != nil {
+				return nil, fmt.Errorf("pario: block %d row (%d,%d): %w", b.ID, y, z, err)
+			}
+			row, err := grid.DecodeSamples(raw, dt)
+			if err != nil {
+				return nil, err
+			}
+			copy(out.Data[out.VertIndex(0, y, z):], row)
+		}
+	}
+	return out, nil
+}
+
+// BlockBytes returns the number of bytes a block's subarray read moves.
+func BlockBytes(dt grid.DType, b grid.Block) int64 {
+	return int64(dt.Size()) * b.Verts()
+}
+
+// Output file format:
+//
+//	payload of block A | payload of block B | ... | footer | footerLen u64 | magic u64
+//
+// footer:
+//
+//	u32 entry count, then per entry:
+//	  u32 block id, u64 offset, u64 size, u32 region length, u32 region ids
+const outputMagic = 0x314d5346435350 // "PCSFM1"
+
+// IndexEntry locates one MS complex block inside an output file.
+type IndexEntry struct {
+	BlockID int32
+	Offset  int64
+	Size    int64
+	Region  []int32
+}
+
+// EncodeFooter serializes the footer (including trailer) for the given
+// index entries.
+func EncodeFooter(entries []IndexEntry) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.BlockID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Offset))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Size))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Region)))
+		for _, b := range e.Region {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(b))
+		}
+	}
+	footerLen := uint64(len(buf))
+	buf = binary.LittleEndian.AppendUint64(buf, footerLen)
+	buf = binary.LittleEndian.AppendUint64(buf, outputMagic)
+	return buf
+}
+
+// ReadIndex parses the footer of an output file.
+func ReadIndex(fs *mpsim.FS, name string) ([]IndexEntry, error) {
+	size, err := fs.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	if size < 16 {
+		return nil, fmt.Errorf("pario: %q too small for a footer", name)
+	}
+	tail, err := fs.ReadAt(name, size-16, 16)
+	if err != nil {
+		return nil, err
+	}
+	footerLen := int64(binary.LittleEndian.Uint64(tail[0:8]))
+	if magic := binary.LittleEndian.Uint64(tail[8:16]); magic != outputMagic {
+		return nil, fmt.Errorf("pario: bad magic %#x in %q", magic, name)
+	}
+	if footerLen < 4 || footerLen > size-16 {
+		return nil, fmt.Errorf("pario: bad footer length %d in %q", footerLen, name)
+	}
+	raw, err := fs.ReadAt(name, size-16-footerLen, int(footerLen))
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(raw[off:])
+		off += 4
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(raw[off:])
+		off += 8
+		return v
+	}
+	count := int(u32())
+	entries := make([]IndexEntry, 0, count)
+	for i := 0; i < count; i++ {
+		e := IndexEntry{BlockID: int32(u32())}
+		e.Offset = int64(u64())
+		e.Size = int64(u64())
+		nRegion := int(u32())
+		e.Region = make([]int32, nRegion)
+		for j := range e.Region {
+			e.Region[j] = int32(u32())
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// LoadComplex reads and deserializes one indexed complex block.
+func LoadComplex(fs *mpsim.FS, name string, e IndexEntry) (*mscomplex.Complex, error) {
+	payload, err := fs.ReadAt(name, e.Offset, int(e.Size))
+	if err != nil {
+		return nil, err
+	}
+	return mscomplex.Deserialize(payload)
+}
+
+// LoadAll reads every complex block in an output file.
+func LoadAll(fs *mpsim.FS, name string) ([]*mscomplex.Complex, error) {
+	idx, err := ReadIndex(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*mscomplex.Complex, len(idx))
+	for i, e := range idx {
+		if out[i], err = LoadComplex(fs, name, e); err != nil {
+			return nil, fmt.Errorf("pario: block %d: %w", e.BlockID, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package pario
+
+import (
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/mscomplex"
+	"parms/internal/synth"
+)
+
+func TestVolumeBlockRead(t *testing.T) {
+	fs := mpsim.NewFS()
+	dims := grid.Dims{12, 10, 8}
+	for _, dt := range []grid.DType{grid.U8, grid.F32, grid.F64} {
+		vol := grid.NewVolume(dims)
+		vol.DType = dt
+		for i := range vol.Data {
+			vol.Data[i] = float32(i % 250)
+		}
+		WriteVolume(fs, "vol", vol)
+		dec, err := grid.Decompose(dims, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range dec.Blocks {
+			got, err := ReadBlockVolume(fs, "vol", dims, dt, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := vol.SubVolume(b.Lo, b.Hi)
+			if got.Dims != want.Dims {
+				t.Fatalf("%v block %d dims %v want %v", dt, b.ID, got.Dims, want.Dims)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%v block %d sample %d: %v want %v", dt, b.ID, i, got.Data[i], want.Data[i])
+				}
+			}
+			if BlockBytes(dt, b) != int64(dt.Size())*b.Verts() {
+				t.Fatal("BlockBytes wrong")
+			}
+		}
+	}
+}
+
+func makeComplex(t *testing.T) *mscomplex.Complex {
+	t.Helper()
+	vol := synth.Sinusoid(13, 2)
+	block := grid.Block{ID: 0, Lo: [3]int{0, 0, 0}, Hi: [3]int{12, 12, 12}}
+	f := gradient.Compute(cube.New(vol.Dims, block, vol), nil)
+	return mscomplex.FromField(f, nil, mscomplex.TraceOptions{}).Complex
+}
+
+func TestOutputFileRoundTrip(t *testing.T) {
+	fs := mpsim.NewFS()
+	ms := makeComplex(t)
+	payload := ms.Serialize()
+
+	entries := []IndexEntry{
+		{BlockID: 0, Offset: 0, Size: int64(len(payload)), Region: []int32{0}},
+		{BlockID: 4, Offset: int64(len(payload)), Size: int64(len(payload)), Region: []int32{4, 5}},
+	}
+	var file []byte
+	file = append(file, payload...)
+	file = append(file, payload...)
+	file = append(file, EncodeFooter(entries)...)
+	fs.Put("out.msc", file)
+
+	idx, err := ReadIndex(fs, "out.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("%d index entries", len(idx))
+	}
+	if idx[1].BlockID != 4 || len(idx[1].Region) != 2 || idx[1].Region[1] != 5 {
+		t.Fatalf("entry 1: %+v", idx[1])
+	}
+	all, err := LoadAll(fs, "out.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes, wantArcs := ms.AliveCounts()
+	for i, back := range all {
+		gotNodes, gotArcs := back.AliveCounts()
+		if gotNodes != wantNodes || gotArcs != wantArcs {
+			t.Fatalf("complex %d: %v/%d want %v/%d", i, gotNodes, gotArcs, wantNodes, wantArcs)
+		}
+	}
+}
+
+func TestReadIndexRejectsCorrupt(t *testing.T) {
+	fs := mpsim.NewFS()
+	fs.Put("tiny", []byte{1, 2, 3})
+	if _, err := ReadIndex(fs, "tiny"); err == nil {
+		t.Fatal("accepted tiny file")
+	}
+	fs.Put("badmagic", make([]byte, 64))
+	if _, err := ReadIndex(fs, "badmagic"); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := ReadIndex(fs, "missing"); err == nil {
+		t.Fatal("accepted missing file")
+	}
+	// Valid magic but absurd footer length.
+	bad := make([]byte, 32)
+	tail := EncodeFooter(nil)
+	// Corrupt the length field.
+	tail[len(tail)-16] = 0xff
+	bad = append(bad, tail...)
+	fs.Put("badlen", bad)
+	if _, err := ReadIndex(fs, "badlen"); err == nil {
+		t.Fatal("accepted bad footer length")
+	}
+}

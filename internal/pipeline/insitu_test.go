@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"testing"
+
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/synth"
+)
+
+// TestInSituMatchesFileRead: supplying blocks through the in-situ source
+// must produce exactly the complex that reading the same volume from
+// storage produces, with a free read stage.
+func TestInSituMatchesFileRead(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+
+	_, fromFile := runPipeline(t, 4, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{4}, Persistence: 0.2,
+	}, vol)
+
+	c, err := mpsim.New(mpsim.Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, Params{
+		Dims:        vol.Dims,
+		Radices:     []int{4},
+		Persistence: 0.2,
+		Source: func(b grid.Block) (*grid.Volume, error) {
+			return vol.SubVolume(b.Lo, b.Hi), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != fromFile.Nodes || res.Arcs != fromFile.Arcs {
+		t.Fatalf("in-situ %v/%d, file %v/%d", res.Nodes, res.Arcs, fromFile.Nodes, fromFile.Arcs)
+	}
+	if res.OutputBlocks != fromFile.OutputBlocks {
+		t.Fatalf("output blocks differ: %d vs %d", res.OutputBlocks, fromFile.OutputBlocks)
+	}
+	// In situ there is nothing to read: the read stage is (near) free.
+	if res.Times.Read > fromFile.Times.Read {
+		t.Errorf("in-situ read stage (%v) not cheaper than file read (%v)",
+			res.Times.Read, fromFile.Times.Read)
+	}
+}
+
+// TestInSituRejectsWrongDims: a source returning a mis-sized block is an
+// error, not a corruption.
+func TestInSituRejectsWrongDims(t *testing.T) {
+	c, err := mpsim.New(mpsim.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(c, Params{
+		Dims: grid.Dims{16, 16, 16},
+		Source: func(b grid.Block) (*grid.Volume, error) {
+			return grid.NewVolume(grid.Dims{3, 3, 3}), nil
+		},
+	})
+	if err == nil {
+		t.Fatal("mis-sized in-situ block accepted")
+	}
+}

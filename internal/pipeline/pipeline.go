@@ -1,0 +1,400 @@
+// Package pipeline drives the paper's Algorithm 1 end to end on a
+// virtual cluster: decompose the domain, read data blocks collectively,
+// compute the discrete gradient and local MS complex per block, simplify
+// it, run the configured merge rounds, and write the surviving complex
+// blocks with a footer index. It reports the same stage decomposition
+// the paper's figures use: read, compute, merge, write.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/merge"
+	"parms/internal/mpsim"
+	"parms/internal/mscomplex"
+	"parms/internal/pario"
+)
+
+// Params configures one pipeline run.
+type Params struct {
+	// File is the raw volume's name in the cluster filesystem.
+	File string
+	// Dims and DType describe the raw volume.
+	Dims  grid.Dims
+	DType grid.DType
+	// Blocks is the number of decomposition blocks; 0 means one block
+	// per process.
+	Blocks int
+	// Radices is the merge schedule (one entry per round, each 2, 4 or
+	// 8); empty means no merging.
+	Radices []int
+	// Persistence is the absolute simplification threshold applied per
+	// block and after every merge round.
+	Persistence float32
+	// OutFile names the output file; empty means "<File>.msc".
+	OutFile string
+	// KeepComplexes retains the final complexes in the Result.
+	KeepComplexes bool
+	// Measured switches compute-stage timing from the modeled cost
+	// model to real wall-clock time (for shared-memory speedup runs).
+	Measured bool
+	// Trace bounds V-path enumeration.
+	Trace mscomplex.TraceOptions
+	// Source, when non-nil, supplies each block's samples directly
+	// instead of reading File from storage — the in-situ mode of the
+	// paper's future work (section VII-B), where the simulation that
+	// produced the data hands its resident domain partition to the
+	// analysis. The read stage then costs nothing. File and DType are
+	// ignored; Dims still describes the global domain.
+	Source func(b grid.Block) (*grid.Volume, error)
+}
+
+// StageTimes is the virtual duration of each pipeline stage, the
+// decomposition plotted in the paper's Figures 9 and 10.
+type StageTimes struct {
+	Read    float64
+	Compute float64
+	Merge   float64
+	Write   float64
+	Total   float64
+}
+
+// Result summarizes one run. Stage times are in modeled seconds (max
+// over ranks, measured at collective stage boundaries, exactly as an
+// MPI_Wtime-after-barrier trace would report them).
+type Result struct {
+	Procs  int
+	Blocks int
+	Times  StageTimes
+	// Rounds holds the per-round merge statistics.
+	Rounds []merge.RoundStats
+	// OutputBlocks is the number of complex blocks written.
+	OutputBlocks int
+	// OutputBytes is the size of the output file.
+	OutputBytes int64
+	// Nodes and Arcs total the alive elements across output blocks.
+	Nodes [4]int
+	Arcs  int
+	// RawNodes totals alive nodes across blocks after per-block
+	// simplification but before any merging — the size the output
+	// would have had without stage two.
+	RawNodes int
+	// BytesSent totals point-to-point payload bytes across ranks.
+	BytesSent int64
+	// ComputeMean is the mean per-rank duration of the compute stage;
+	// Times.Compute is the max. Their ratio measures load imbalance
+	// under the block-cyclic assignment (section IV-A).
+	ComputeMean float64
+	// Truncated counts critical cells whose V-path enumeration hit the
+	// trace cap (0 in all shipped experiments).
+	Truncated int
+	// Complexes holds the final complexes by block id when
+	// Params.KeepComplexes is set.
+	Complexes map[int]*mscomplex.Complex
+}
+
+// Run executes the pipeline on the cluster and returns the combined
+// result. It must be called from a single goroutine; it runs the rank
+// program on every virtual rank internally.
+func Run(c *mpsim.Cluster, p Params) (*Result, error) {
+	procs := c.Procs()
+	nblocks := p.Blocks
+	if nblocks == 0 {
+		nblocks = procs
+	}
+	if p.OutFile == "" {
+		p.OutFile = p.File + ".msc"
+	}
+	dec, err := grid.Decompose(p.Dims, nblocks)
+	if err != nil {
+		return nil, err
+	}
+	sched := merge.Schedule{Radices: p.Radices}
+	if err := sched.Validate(nblocks); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Procs: procs, Blocks: nblocks}
+	if p.KeepComplexes {
+		res.Complexes = make(map[int]*mscomplex.Complex)
+	}
+	c.FS().Create(p.OutFile)
+	var mu sync.Mutex
+
+	_, err = c.Run(func(r *mpsim.Rank) error {
+		return rankProgram(r, c, p, dec, sched, res, &mu)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposition,
+	sched merge.Schedule, res *Result, mu *sync.Mutex) error {
+
+	nblocks := dec.NumBlocks()
+	myBlocks := grid.AssignBlocks(nblocks, r.Size(), r.ID())
+	maxPerRank := (nblocks + r.Size() - 1) / r.Size()
+
+	t0 := r.AllreduceMaxTime()
+
+	// --- Read data blocks (section IV-B), or receive them in situ ---
+	vols := make(map[int]*grid.Volume, len(myBlocks))
+	if p.Source != nil {
+		for _, bid := range myBlocks {
+			b := dec.Blocks[bid]
+			vol, err := p.Source(b)
+			if err != nil {
+				return err
+			}
+			if vol.Dims != b.Dims() {
+				return fmt.Errorf("pipeline: in-situ source returned %v for block %d, want %v",
+					vol.Dims, bid, b.Dims())
+			}
+			vols[bid] = vol
+		}
+	} else {
+		for i := 0; i < maxPerRank; i++ {
+			var bytes int64
+			if i < len(myBlocks) {
+				b := dec.Blocks[myBlocks[i]]
+				vol, err := pario.ReadBlockVolume(c.FS(), p.File, p.Dims, p.DType, b)
+				if err != nil {
+					return err
+				}
+				vols[b.ID] = vol
+				bytes = pario.BlockBytes(p.DType, b)
+			}
+			r.IOAccount(bytes)
+		}
+	}
+	t1 := r.AllreduceMaxTime()
+
+	// --- Compute gradient, MS complex, and simplify per block
+	// (sections IV-C to IV-E) ---
+	complexes := make(map[int]*mscomplex.Complex, len(myBlocks))
+	truncated := 0
+	computeStart := float64(r.Clock())
+	for _, bid := range myBlocks {
+		b := dec.Blocks[bid]
+		start := time.Now()
+		cc := cube.New(p.Dims, b, vols[bid])
+		field := gradient.Compute(cc, dec)
+		traced := mscomplex.FromField(field, dec, p.Trace)
+		truncated += traced.Truncated
+		ms := traced.Complex
+		ms.Simplify(mscomplex.SimplifyOptions{Threshold: p.Persistence})
+		compacted := ms.Compact() // carries ms.Work plus its own ops
+		complexes[bid] = compacted
+		delete(vols, bid)
+		if p.Measured {
+			r.Elapse(time.Since(start).Seconds())
+		} else {
+			w := field.Work
+			w.Add(compacted.Work)
+			r.Compute(w)
+		}
+	}
+	computeLocal := float64(r.Clock()) - computeStart
+	computeMean := r.AllreduceFloat64(computeLocal, "sum") / float64(r.Size())
+	t2 := r.AllreduceMaxTime()
+	rawLocal := 0
+	for _, ms := range complexes {
+		rawLocal += ms.NumAliveNodes()
+	}
+	rawNodes := int(r.AllreduceFloat64(float64(rawLocal), "sum"))
+
+	// --- Merge rounds (section IV-F) ---
+	rounds, err := merge.Execute(r, sched, nblocks, complexes, p.Persistence)
+	if err != nil {
+		return err
+	}
+	t3 := r.AllreduceMaxTime()
+
+	// --- Write MS complex blocks (section IV-G) ---
+	outBytes, entries, err := writeOutput(r, c, p.OutFile, nblocks, sched, complexes)
+	if err != nil {
+		return err
+	}
+	t4 := r.AllreduceMaxTime()
+
+	truncTotal := int(r.AllreduceFloat64(float64(truncated), "sum"))
+	var nodeTotals [4]int
+	arcTotal := 0
+	var localNodes [4]int
+	localArcs := 0
+	for _, ms := range complexes {
+		n, a := ms.AliveCounts()
+		for i := range n {
+			localNodes[i] += n[i]
+		}
+		localArcs += a
+	}
+	for i := 0; i < 4; i++ {
+		nodeTotals[i] = int(r.AllreduceFloat64(float64(localNodes[i]), "sum"))
+	}
+	arcTotal = int(r.AllreduceFloat64(float64(localArcs), "sum"))
+	bytesSent := int64(r.AllreduceFloat64(float64(r.BytesSent()), "sum"))
+
+	if r.ID() == 0 {
+		mu.Lock()
+		res.Times = StageTimes{
+			Read:    t1 - t0,
+			Compute: t2 - t1,
+			Merge:   t3 - t2,
+			Write:   t4 - t3,
+			Total:   t4 - t0,
+		}
+		res.Rounds = rounds
+		res.OutputBlocks = len(entries)
+		res.OutputBytes = outBytes
+		res.Nodes = nodeTotals
+		res.Arcs = arcTotal
+		res.RawNodes = rawNodes
+		res.ComputeMean = computeMean
+		res.BytesSent = bytesSent
+		res.Truncated = truncTotal
+		mu.Unlock()
+	}
+	if res.Complexes != nil {
+		mu.Lock()
+		for bid, ms := range complexes {
+			res.Complexes[bid] = ms
+		}
+		mu.Unlock()
+	}
+	return nil
+}
+
+// writeOutput performs the collective write of surviving blocks plus the
+// footer, and returns the file size and index (index only on rank 0).
+func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
+	sched merge.Schedule, complexes map[int]*mscomplex.Complex) (int64, []pario.IndexEntry, error) {
+
+	survivors := sched.Survivors(nblocks)
+	maxPerRank := 0
+	perRank := make([][]int, r.Size())
+	for _, b := range survivors {
+		owner := grid.RankOfBlock(b, r.Size())
+		perRank[owner] = append(perRank[owner], b)
+	}
+	for _, list := range perRank {
+		if len(list) > maxPerRank {
+			maxPerRank = len(list)
+		}
+	}
+	mine := perRank[r.ID()]
+	sort.Ints(mine)
+
+	// Serialize my blocks and gather (block, size, region) records at
+	// rank 0 to compute offsets and the footer index.
+	payloads := make(map[int][]byte, len(mine))
+	var sizeMsg []byte
+	for _, bid := range mine {
+		ms, ok := complexes[bid]
+		if !ok {
+			return 0, nil, fmt.Errorf("pipeline: rank %d missing surviving block %d", r.ID(), bid)
+		}
+		payload := ms.Serialize()
+		payloads[bid] = payload
+		sizeMsg = appendU64(sizeMsg, uint64(bid))
+		sizeMsg = appendU64(sizeMsg, uint64(len(payload)))
+		sizeMsg = appendU64(sizeMsg, uint64(len(ms.Region)))
+		for _, rb := range ms.Region {
+			sizeMsg = appendU64(sizeMsg, uint64(rb))
+		}
+	}
+	gathered := r.Gather(0, sizeMsg)
+
+	// Rank 0 assigns offsets in survivor order and broadcasts.
+	var offerMsg []byte
+	var entries []pario.IndexEntry
+	if r.ID() == 0 {
+		sizes := make(map[int]int64, len(survivors))
+		regions := make(map[int][]int32, len(survivors))
+		for _, msg := range gathered {
+			for o := 0; o+24 <= len(msg); {
+				bid := int(u64At(msg, o))
+				sizes[bid] = int64(u64At(msg, o+8))
+				nRegion := int(u64At(msg, o+16))
+				o += 24
+				reg := make([]int32, nRegion)
+				for j := 0; j < nRegion; j++ {
+					reg[j] = int32(u64At(msg, o))
+					o += 8
+				}
+				regions[bid] = reg
+			}
+		}
+		off := int64(0)
+		for _, bid := range survivors {
+			sz, ok := sizes[bid]
+			if !ok {
+				return 0, nil, fmt.Errorf("pipeline: no size reported for block %d", bid)
+			}
+			entries = append(entries, pario.IndexEntry{
+				BlockID: int32(bid), Offset: off, Size: sz, Region: regions[bid],
+			})
+			offerMsg = appendU64(offerMsg, uint64(bid))
+			offerMsg = appendU64(offerMsg, uint64(off))
+			off += sz
+		}
+	}
+	offerMsg = r.Bcast(0, offerMsg)
+	offsets := make(map[int]int64)
+	for o := 0; o+16 <= len(offerMsg); o += 16 {
+		offsets[int(u64At(offerMsg, o))] = int64(u64At(offerMsg, o+8))
+	}
+
+	// Collective write rounds: every rank participates in every round,
+	// contributing a block payload if it has one left, or a null write.
+	for i := 0; i < maxPerRank; i++ {
+		var data []byte
+		var off int64
+		if i < len(mine) {
+			data = payloads[mine[i]]
+			off = offsets[mine[i]]
+		}
+		if err := r.CollectiveWrite(name, off, data); err != nil {
+			return 0, nil, err
+		}
+	}
+
+	// Rank 0 appends the footer in one more collective round.
+	var footer []byte
+	var footerOff int64
+	if r.ID() == 0 {
+		for i := range entries {
+			footerOff = entries[i].Offset + entries[i].Size
+		}
+		footer = pario.EncodeFooter(entries)
+	}
+	if err := r.CollectiveWrite(name, footerOff, footer); err != nil {
+		return 0, nil, err
+	}
+	size, err := c.FS().Size(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return size, entries, nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func u64At(b []byte, off int) uint64 {
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[off+i])
+	}
+	return v
+}

@@ -1,0 +1,214 @@
+package pipeline
+
+import (
+	"testing"
+
+	"parms/internal/grid"
+	"parms/internal/merge"
+	"parms/internal/mpsim"
+	"parms/internal/pario"
+	"parms/internal/synth"
+)
+
+func runPipeline(t *testing.T, procs int, p Params, vol *grid.Volume) (*mpsim.Cluster, *Result) {
+	t.Helper()
+	c, err := mpsim.New(mpsim.Config{Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pario.WriteVolume(c.FS(), p.File, vol)
+	res, err := Run(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+func TestEndToEndFullMerge(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+
+	// Serial reference: one proc, one block, no merge.
+	_, serial := runPipeline(t, 1, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Persistence: 0.3, KeepComplexes: true,
+	}, vol)
+
+	for _, procs := range []int{2, 4, 8} {
+		sched := merge.Full(procs)
+		c, res := runPipeline(t, procs, Params{
+			File: "vol", Dims: vol.Dims, DType: grid.F32,
+			Radices: sched.Radices, Persistence: 0.3, KeepComplexes: true,
+		}, vol)
+		if res.OutputBlocks != 1 {
+			t.Fatalf("procs=%d: %d output blocks after full merge, want 1", procs, res.OutputBlocks)
+		}
+		if res.Nodes != serial.Nodes {
+			t.Errorf("procs=%d: node counts %v, serial %v", procs, res.Nodes, serial.Nodes)
+		}
+		if res.Truncated != 0 {
+			t.Errorf("procs=%d: %d truncated traces", procs, res.Truncated)
+		}
+		// The output file must round-trip through the block reader.
+		all, err := pario.LoadAll(c.FS(), "vol.msc")
+		if err != nil {
+			t.Fatalf("procs=%d: load output: %v", procs, err)
+		}
+		if len(all) != 1 {
+			t.Fatalf("procs=%d: %d complexes in output", procs, len(all))
+		}
+		n, _ := all[0].AliveCounts()
+		if n != res.Nodes {
+			t.Errorf("procs=%d: file node counts %v, result %v", procs, n, res.Nodes)
+		}
+		if got := all[0].EulerCharacteristic(); got != 1 {
+			t.Errorf("procs=%d: Euler characteristic %d", procs, got)
+		}
+		if len(all[0].Region) != procs {
+			t.Errorf("procs=%d: merged region covers %d blocks", procs, len(all[0].Region))
+		}
+	}
+}
+
+func TestEndToEndPartialMerge(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	c, res := runPipeline(t, 8, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{4}, Persistence: 0.2,
+	}, vol)
+	if res.OutputBlocks != 2 {
+		t.Fatalf("8 blocks with one radix-4 round: %d output blocks, want 2", res.OutputBlocks)
+	}
+	idx, err := pario.ReadIndex(c.FS(), "vol.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("index has %d entries, want 2", len(idx))
+	}
+	if idx[0].BlockID != 0 || idx[1].BlockID != 4 {
+		t.Fatalf("surviving blocks %d, %d; want 0, 4", idx[0].BlockID, idx[1].BlockID)
+	}
+	for _, e := range idx {
+		if len(e.Region) != 4 {
+			t.Errorf("block %d region has %d blocks, want 4", e.BlockID, len(e.Region))
+		}
+	}
+}
+
+func TestEndToEndNoMerge(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	c, res := runPipeline(t, 4, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32, Persistence: 0.2,
+	}, vol)
+	if res.OutputBlocks != 4 {
+		t.Fatalf("no merge: %d output blocks, want 4", res.OutputBlocks)
+	}
+	all, err := pario.LoadAll(c.FS(), "vol.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without merging, boundary artifacts remain: the unmerged complex
+	// is strictly larger than the fully merged one.
+	totalNodes := 0
+	for _, ms := range all {
+		n, _ := ms.AliveCounts()
+		totalNodes += n[0] + n[1] + n[2] + n[3]
+	}
+	_, full := runPipeline(t, 4, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{4}, Persistence: 0.2,
+	}, vol)
+	fullNodes := full.Nodes[0] + full.Nodes[1] + full.Nodes[2] + full.Nodes[3]
+	if totalNodes <= fullNodes {
+		t.Errorf("unmerged output (%d nodes) not larger than merged (%d)", totalNodes, fullNodes)
+	}
+}
+
+func TestMoreBlocksThanProcs(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	_, serial := runPipeline(t, 1, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32, Persistence: 0.3,
+	}, vol)
+	_, res := runPipeline(t, 3, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: 8, Radices: []int{8}, Persistence: 0.3,
+	}, vol)
+	if res.OutputBlocks != 1 {
+		t.Fatalf("full merge of 8 blocks on 3 procs: %d output blocks", res.OutputBlocks)
+	}
+	if res.Nodes != serial.Nodes {
+		t.Errorf("block-cyclic run node counts %v, serial %v", res.Nodes, serial.Nodes)
+	}
+}
+
+func TestStageTimesPositiveAndOrdered(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	_, res := runPipeline(t, 8, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{8}, Persistence: 0.1,
+	}, vol)
+	ts := res.Times
+	if ts.Read <= 0 || ts.Compute <= 0 || ts.Merge <= 0 || ts.Write <= 0 {
+		t.Fatalf("non-positive stage time: %+v", ts)
+	}
+	sum := ts.Read + ts.Compute + ts.Merge + ts.Write
+	if diff := ts.Total - sum; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("total %v != sum of stages %v", ts.Total, sum)
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].Radix != 8 {
+		t.Fatalf("unexpected round stats %+v", res.Rounds)
+	}
+	if res.Rounds[0].BytesSent <= 0 {
+		t.Fatal("merge round reports no bytes sent")
+	}
+}
+
+func TestComputeTimeWeakScaling(t *testing.T) {
+	// The paper's Figure 6 observation: compute time depends only on
+	// block size. The same volume on 8× the procs should compute
+	// roughly 8× faster.
+	vol := synth.Sinusoid(33, 4)
+	_, r1 := runPipeline(t, 1, Params{File: "vol", Dims: vol.Dims, DType: grid.F32, Persistence: 0.1}, vol)
+	_, r8 := runPipeline(t, 8, Params{File: "vol", Dims: vol.Dims, DType: grid.F32, Persistence: 0.1}, vol)
+	speedup := r1.Times.Compute / r8.Times.Compute
+	if speedup < 4 || speedup > 16 {
+		t.Errorf("compute speedup on 8 procs = %.2f, want near 8", speedup)
+	}
+}
+
+func TestMeasuredMode(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	c, err := mpsim.New(mpsim.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pario.WriteVolume(c.FS(), "vol", vol)
+	res, err := Run(c, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Persistence: 0.1, Measured: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Times.Compute <= 0 {
+		t.Fatalf("measured compute time %v", res.Times.Compute)
+	}
+	// Measured wall time for this tiny volume is far below one modeled
+	// Blue Gene/P second.
+	if res.Times.Compute > 5 {
+		t.Fatalf("measured compute time %v implausibly large", res.Times.Compute)
+	}
+}
+
+func TestComputeMeanAtMostMax(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	_, res := runPipeline(t, 8, Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32, Persistence: 0.1,
+	}, vol)
+	if res.ComputeMean <= 0 {
+		t.Fatal("no mean compute time")
+	}
+	if res.ComputeMean > res.Times.Compute+1e-9 {
+		t.Fatalf("mean %v exceeds max %v", res.ComputeMean, res.Times.Compute)
+	}
+}

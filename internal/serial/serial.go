@@ -1,0 +1,253 @@
+// Package serial provides the single-process reference computation the
+// paper's stability discussion (section V-A) compares against, plus an
+// independently-coded discrete gradient construction used as a testing
+// oracle for the optimized implementation in package gradient.
+package serial
+
+import (
+	"sort"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/mscomplex"
+)
+
+// Compute runs the whole pipeline serially on a full volume: one block,
+// no boundary restriction, simplification at the given threshold. It is
+// the baseline for the parallel-vs-serial stability experiments.
+func Compute(vol *grid.Volume, threshold float32) *mscomplex.Complex {
+	block := grid.Block{
+		ID: 0,
+		Lo: [3]int{0, 0, 0},
+		Hi: [3]int{vol.Dims[0] - 1, vol.Dims[1] - 1, vol.Dims[2] - 1},
+	}
+	f := gradient.Compute(cube.New(vol.Dims, block, vol), nil)
+	ms := mscomplex.FromField(f, nil, mscomplex.TraceOptions{}).Complex
+	if threshold > 0 {
+		ms.Simplify(mscomplex.SimplifyOptions{Threshold: threshold})
+	}
+	return ms
+}
+
+// referenceCell is one cell of the oracle's explicit representation.
+type referenceCell struct {
+	x, y, z int
+	dim     int
+	// keys are the vertex (value, id) pairs, descending.
+	keys []cube.VertKey
+}
+
+// ReferenceGradient is a deliberately straightforward, independently
+// coded implementation of the published greedy gradient construction:
+// explicit coordinate structs, maps and slices instead of packed arrays
+// and bit tricks. It exists so tests can cross-check the optimized
+// implementation cell by cell.
+type ReferenceGradient struct {
+	dims  grid.Dims
+	rx    int
+	ry    int
+	rz    int
+	pair  map[int]int // cell index -> paired cell index
+	crit  map[int]bool
+	cells []referenceCell
+}
+
+// NewReferenceGradient computes the oracle gradient of a full volume.
+func NewReferenceGradient(vol *grid.Volume) *ReferenceGradient {
+	r := vol.Dims.Refined()
+	g := &ReferenceGradient{
+		dims: vol.Dims,
+		rx:   r[0], ry: r[1], rz: r[2],
+		pair: make(map[int]int),
+		crit: make(map[int]bool),
+	}
+	// Enumerate all cells with their vertex keys.
+	g.cells = make([]referenceCell, 0, g.rx*g.ry*g.rz)
+	for z := 0; z < g.rz; z++ {
+		for y := 0; y < g.ry; y++ {
+			for x := 0; x < g.rx; x++ {
+				c := referenceCell{x: x, y: y, z: z, dim: x%2 + y%2 + z%2}
+				for _, v := range g.cellVertices(x, y, z) {
+					c.keys = append(c.keys, cube.VertKey{
+						Val: vol.At(v[0], v[1], v[2]),
+						ID: int64(v[0]) + int64(v[1])*int64(vol.Dims[0]) +
+							int64(v[2])*int64(vol.Dims[0])*int64(vol.Dims[1]),
+					})
+				}
+				sort.Slice(c.keys, func(i, j int) bool { return c.keys[j].Less(c.keys[i]) })
+				g.cells = append(g.cells, c)
+			}
+		}
+	}
+	g.assign()
+	return g
+}
+
+func (g *ReferenceGradient) index(x, y, z int) int { return x + y*g.rx + z*g.rx*g.ry }
+
+// cellVertices lists the original-grid vertices of a refined cell.
+func (g *ReferenceGradient) cellVertices(x, y, z int) [][3]int {
+	var out [][3]int
+	for _, vx := range cornerRange(x) {
+		for _, vy := range cornerRange(y) {
+			for _, vz := range cornerRange(z) {
+				out = append(out, [3]int{vx, vy, vz})
+			}
+		}
+	}
+	return out
+}
+
+func cornerRange(c int) []int {
+	if c%2 == 0 {
+		return []int{c / 2}
+	}
+	return []int{(c - 1) / 2, (c + 1) / 2}
+}
+
+// less compares cells in the simulation-of-simplicity order.
+func (g *ReferenceGradient) less(a, b int) bool {
+	ka, kb := g.cells[a].keys, g.cells[b].keys
+	n := len(ka)
+	if len(kb) < n {
+		n = len(kb)
+	}
+	for i := 0; i < n; i++ {
+		if ka[i] != kb[i] {
+			return ka[i].Less(kb[i])
+		}
+	}
+	return len(ka) < len(kb)
+}
+
+func (g *ReferenceGradient) facets(i int) []int {
+	c := g.cells[i]
+	var out []int
+	if c.x%2 == 1 {
+		out = append(out, g.index(c.x-1, c.y, c.z), g.index(c.x+1, c.y, c.z))
+	}
+	if c.y%2 == 1 {
+		out = append(out, g.index(c.x, c.y-1, c.z), g.index(c.x, c.y+1, c.z))
+	}
+	if c.z%2 == 1 {
+		out = append(out, g.index(c.x, c.y, c.z-1), g.index(c.x, c.y, c.z+1))
+	}
+	return out
+}
+
+func (g *ReferenceGradient) cofacets(i int) []int {
+	c := g.cells[i]
+	var out []int
+	if c.x%2 == 0 {
+		if c.x > 0 {
+			out = append(out, g.index(c.x-1, c.y, c.z))
+		}
+		if c.x < g.rx-1 {
+			out = append(out, g.index(c.x+1, c.y, c.z))
+		}
+	}
+	if c.y%2 == 0 {
+		if c.y > 0 {
+			out = append(out, g.index(c.x, c.y-1, c.z))
+		}
+		if c.y < g.ry-1 {
+			out = append(out, g.index(c.x, c.y+1, c.z))
+		}
+	}
+	if c.z%2 == 0 {
+		if c.z > 0 {
+			out = append(out, g.index(c.x, c.y, c.z-1))
+		}
+		if c.z < g.rz-1 {
+			out = append(out, g.index(c.x, c.y, c.z+1))
+		}
+	}
+	return out
+}
+
+func (g *ReferenceGradient) assigned(i int) bool {
+	_, paired := g.pair[i]
+	return paired || g.crit[i]
+}
+
+// assign runs the published algorithm exactly as described in section
+// IV-C: cells sorted by increasing dimension then function value; in
+// that order a d-cell pairs with the steepest unassigned cofacet for
+// which it is the only unassigned facet, else it is critical.
+func (g *ReferenceGradient) assign() {
+	for d := 0; d <= 2; d++ {
+		var order []int
+		for i := range g.cells {
+			if g.cells[i].dim == d {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return g.less(order[a], order[b]) })
+		for _, i := range order {
+			if g.assigned(i) {
+				continue
+			}
+			best := -1
+			for _, co := range g.cofacets(i) {
+				if g.assigned(co) {
+					continue
+				}
+				sole := true
+				for _, fc := range g.facets(co) {
+					if fc != i && !g.assigned(fc) {
+						sole = false
+						break
+					}
+				}
+				if !sole {
+					continue
+				}
+				if best < 0 || g.less(co, best) {
+					best = co
+				}
+			}
+			if best < 0 {
+				g.crit[i] = true
+			} else {
+				g.pair[i] = best
+				g.pair[best] = i
+			}
+		}
+	}
+	for i := range g.cells {
+		if g.cells[i].dim == 3 && !g.assigned(i) {
+			g.crit[i] = true
+		}
+	}
+}
+
+// CriticalCounts returns the number of critical cells per Morse index.
+func (g *ReferenceGradient) CriticalCounts() [4]int {
+	var counts [4]int
+	for i := range g.crit {
+		counts[g.cells[i].dim]++
+	}
+	return counts
+}
+
+// CriticalSet returns the set of critical cells as refined coordinates.
+func (g *ReferenceGradient) CriticalSet() map[[3]int]bool {
+	out := make(map[[3]int]bool, len(g.crit))
+	for i := range g.crit {
+		c := g.cells[i]
+		out[[3]int{c.x, c.y, c.z}] = true
+	}
+	return out
+}
+
+// PairOf returns the paired cell of the given refined coordinate, if
+// any.
+func (g *ReferenceGradient) PairOf(x, y, z int) ([3]int, bool) {
+	p, ok := g.pair[g.index(x, y, z)]
+	if !ok {
+		return [3]int{}, false
+	}
+	c := g.cells[p]
+	return [3]int{c.x, c.y, c.z}, true
+}

@@ -1,0 +1,80 @@
+package serial
+
+import (
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/synth"
+)
+
+// TestOracleAgreesWithOptimized cross-checks the optimized gradient
+// implementation against the independently coded reference, cell by
+// cell: identical critical sets and identical pairings.
+func TestOracleAgreesWithOptimized(t *testing.T) {
+	cases := []*grid.Volume{
+		synth.Random(grid.Dims{7, 6, 5}, 1),
+		synth.Random(grid.Dims{6, 6, 6}, 2),
+		synth.Sinusoid(9, 2),
+		synth.Ramp(grid.Dims{5, 5, 5}),
+	}
+	for ci, vol := range cases {
+		ref := NewReferenceGradient(vol)
+		block := grid.Block{Lo: [3]int{0, 0, 0}, Hi: [3]int{vol.Dims[0] - 1, vol.Dims[1] - 1, vol.Dims[2] - 1}}
+		c := cube.New(vol.Dims, block, vol)
+		f := gradient.Compute(c, nil)
+
+		refCrit := ref.CriticalSet()
+		optCrit := make(map[[3]int]bool)
+		for _, ci := range f.CriticalCells() {
+			x, y, z := c.Coords(int(ci))
+			optCrit[[3]int{x, y, z}] = true
+		}
+		if len(refCrit) != len(optCrit) {
+			t.Fatalf("case %d: %d reference criticals, %d optimized", ci, len(refCrit), len(optCrit))
+		}
+		for cell := range refCrit {
+			if !optCrit[cell] {
+				t.Fatalf("case %d: reference critical %v missing in optimized", ci, cell)
+			}
+		}
+		// Pairings must agree too.
+		for idx := 0; idx < c.NumCells(); idx++ {
+			x, y, z := c.Coords(idx)
+			refPair, refOK := ref.PairOf(x, y, z)
+			optPairIdx, optOK := f.PairedWith(idx)
+			if refOK != optOK {
+				t.Fatalf("case %d: cell (%d,%d,%d) paired=%v in reference, %v in optimized",
+					ci, x, y, z, refOK, optOK)
+			}
+			if refOK {
+				px, py, pz := c.Coords(optPairIdx)
+				if refPair != [3]int{px, py, pz} {
+					t.Fatalf("case %d: cell (%d,%d,%d) paired with %v in reference, (%d,%d,%d) in optimized",
+						ci, x, y, z, refPair, px, py, pz)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeSerialBaseline(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	ms := Compute(vol, 0.3)
+	if err := ms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ms.EulerCharacteristic() != 1 {
+		t.Fatalf("Euler characteristic %d", ms.EulerCharacteristic())
+	}
+	nodes, _ := ms.AliveCounts()
+	if nodes[3] == 0 {
+		t.Fatalf("no maxima survive: %v", nodes)
+	}
+	// Unsimplified run keeps more nodes.
+	raw := Compute(vol, 0)
+	if raw.NumAliveNodes() < ms.NumAliveNodes() {
+		t.Fatal("simplification increased node count")
+	}
+}

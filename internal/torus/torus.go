@@ -1,0 +1,163 @@
+// Package torus models the 3D torus interconnect of an IBM Blue Gene/P
+// class machine: rank-to-coordinate mapping, dimension-ordered routing,
+// and hop-count metrics used by the communication cost model.
+package torus
+
+import "fmt"
+
+// Network is a 3D torus of X×Y×Z nodes. Ranks are laid out in row-major
+// (XYZ) order, matching the default BG/P mapping.
+type Network struct {
+	X, Y, Z int
+}
+
+// New builds a torus with at least n nodes, choosing near-cubic
+// dimensions. The returned network may have more nodes than n (ranks
+// beyond n simply go unused), mirroring partition allocation on real
+// machines.
+func New(n int) *Network {
+	if n < 1 {
+		n = 1
+	}
+	// Grow dimensions one at a time, keeping them as equal as possible,
+	// preferring powers of two as real torus partitions do.
+	x, y, z := 1, 1, 1
+	for x*y*z < n {
+		switch {
+		case x <= y && x <= z:
+			x *= 2
+		case y <= z:
+			y *= 2
+		default:
+			z *= 2
+		}
+	}
+	return &Network{X: x, Y: y, Z: z}
+}
+
+// NewDims builds a torus with explicit dimensions.
+func NewDims(x, y, z int) (*Network, error) {
+	if x < 1 || y < 1 || z < 1 {
+		return nil, fmt.Errorf("torus: invalid dimensions %d×%d×%d", x, y, z)
+	}
+	return &Network{X: x, Y: y, Z: z}, nil
+}
+
+// Nodes returns the total number of nodes in the torus.
+func (n *Network) Nodes() int { return n.X * n.Y * n.Z }
+
+// Coord returns the torus coordinates of a rank. Ranks wrap modulo the
+// node count, so oversubscribed virtual clusters still map sensibly.
+func (n *Network) Coord(rank int) (x, y, z int) {
+	if rank < 0 {
+		rank = -rank
+	}
+	rank %= n.Nodes()
+	x = rank % n.X
+	y = (rank / n.X) % n.Y
+	z = rank / (n.X * n.Y)
+	return
+}
+
+// Rank returns the rank at torus coordinates (x, y, z), which wrap.
+func (n *Network) Rank(x, y, z int) int {
+	x = mod(x, n.X)
+	y = mod(y, n.Y)
+	z = mod(z, n.Z)
+	return x + y*n.X + z*n.X*n.Y
+}
+
+// Hops returns the number of torus links a message from rank a to rank b
+// traverses under dimension-ordered routing (the minimal hop count per
+// dimension, using wraparound links when shorter). A message to self
+// takes zero hops.
+func (n *Network) Hops(a, b int) int {
+	ax, ay, az := n.Coord(a)
+	bx, by, bz := n.Coord(b)
+	return ringDist(ax, bx, n.X) + ringDist(ay, by, n.Y) + ringDist(az, bz, n.Z)
+}
+
+// Route returns the sequence of node ranks visited by dimension-ordered
+// routing from a to b, excluding a itself and including b. It routes
+// fully in X, then Y, then Z, taking the shorter ring direction in each
+// dimension.
+func (n *Network) Route(a, b int) []int {
+	ax, ay, az := n.Coord(a)
+	bx, by, bz := n.Coord(b)
+	var path []int
+	x, y, z := ax, ay, az
+	step := func(cur, dst, size int) int {
+		if cur == dst {
+			return cur
+		}
+		fwd := mod(dst-cur, size)
+		bwd := mod(cur-dst, size)
+		if fwd <= bwd {
+			return mod(cur+1, size)
+		}
+		return mod(cur-1, size)
+	}
+	for x != bx {
+		x = step(x, bx, n.X)
+		path = append(path, n.Rank(x, y, z))
+	}
+	for y != by {
+		y = step(y, by, n.Y)
+		path = append(path, n.Rank(x, y, z))
+	}
+	for z != bz {
+		z = step(z, bz, n.Z)
+		path = append(path, n.Rank(x, y, z))
+	}
+	return path
+}
+
+// Diameter returns the maximum hop count between any two nodes.
+func (n *Network) Diameter() int {
+	return n.X/2 + n.Y/2 + n.Z/2
+}
+
+// BisectionLinks returns the number of links crossing the smallest
+// bisecting plane of the torus; it bounds achievable all-to-all
+// bandwidth and appears in reports for context.
+func (n *Network) BisectionLinks() int {
+	// Cutting the torus across its longest dimension severs two links
+	// (wraparound) per node pair in the cut plane.
+	longest := n.X
+	area := n.Y * n.Z
+	if n.Y > longest {
+		longest = n.Y
+		area = n.X * n.Z
+	}
+	if n.Z > longest {
+		longest = n.Z
+		area = n.X * n.Y
+	}
+	links := 2 * area
+	if longest == 1 {
+		links = 0
+	}
+	return links
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("torus %d×%d×%d (%d nodes)", n.X, n.Y, n.Z, n.Nodes())
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}
+
+// ringDist is the minimal distance between positions a and b on a ring
+// of the given size.
+func ringDist(a, b, size int) int {
+	d := mod(a-b, size)
+	if size-d < d {
+		d = size - d
+	}
+	return d
+}

@@ -1,0 +1,119 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCoversRequestedNodes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1024, 32768, 40960} {
+		net := New(n)
+		if net.Nodes() < n {
+			t.Fatalf("New(%d) has only %d nodes", n, net.Nodes())
+		}
+		if net.Nodes() > 2*n && n > 1 {
+			t.Fatalf("New(%d) wastes too many nodes: %d", n, net.Nodes())
+		}
+	}
+}
+
+func TestCoordRankRoundTrip(t *testing.T) {
+	net := New(512)
+	for rank := 0; rank < net.Nodes(); rank++ {
+		x, y, z := net.Coord(rank)
+		if back := net.Rank(x, y, z); back != rank {
+			t.Fatalf("rank %d -> (%d,%d,%d) -> %d", rank, x, y, z, back)
+		}
+	}
+}
+
+func TestHopsProperties(t *testing.T) {
+	net := New(64) // 4×4×4
+	f := func(a, b uint16) bool {
+		ra := int(a) % net.Nodes()
+		rb := int(b) % net.Nodes()
+		h := net.Hops(ra, rb)
+		// Symmetry, identity, diameter bound.
+		if h != net.Hops(rb, ra) {
+			return false
+		}
+		if ra == rb && h != 0 {
+			return false
+		}
+		if ra != rb && h < 1 {
+			return false
+		}
+		return h <= net.Diameter()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	net := New(27)
+	f := func(a, b, c uint16) bool {
+		ra, rb, rc := int(a)%net.Nodes(), int(b)%net.Nodes(), int(c)%net.Nodes()
+		return net.Hops(ra, rc) <= net.Hops(ra, rb)+net.Hops(rb, rc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWraparoundShortensPaths(t *testing.T) {
+	net, err := NewDims(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := net.Hops(0, 7); h != 1 {
+		t.Fatalf("ring distance 0..7 on size-8 ring = %d, want 1 (wraparound)", h)
+	}
+	if h := net.Hops(0, 4); h != 4 {
+		t.Fatalf("ring distance 0..4 = %d, want 4", h)
+	}
+}
+
+func TestRouteMatchesHops(t *testing.T) {
+	net := New(64)
+	f := func(a, b uint16) bool {
+		ra := int(a) % net.Nodes()
+		rb := int(b) % net.Nodes()
+		path := net.Route(ra, rb)
+		if len(path) != net.Hops(ra, rb) {
+			return false
+		}
+		if len(path) > 0 && path[len(path)-1] != rb {
+			return false
+		}
+		// Each step moves exactly one hop.
+		prev := ra
+		for _, node := range path {
+			if net.Hops(prev, node) != 1 {
+				return false
+			}
+			prev = node
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	net, _ := NewDims(4, 4, 4)
+	if got := net.BisectionLinks(); got != 32 {
+		t.Fatalf("4×4×4 bisection links = %d, want 32", got)
+	}
+	single, _ := NewDims(1, 1, 1)
+	if got := single.BisectionLinks(); got != 0 {
+		t.Fatalf("1-node bisection links = %d, want 0", got)
+	}
+}
+
+func TestNewDimsRejectsInvalid(t *testing.T) {
+	if _, err := NewDims(0, 4, 4); err == nil {
+		t.Fatal("accepted zero dimension")
+	}
+}

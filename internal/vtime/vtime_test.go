@@ -1,0 +1,131 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(-3) // ignored
+	if c.Now() != 1.5 {
+		t.Fatalf("clock %v, want 1.5", c.Now())
+	}
+	c.AdvanceTo(1.0) // ignored, in the past
+	if c.Now() != 1.5 {
+		t.Fatalf("clock %v after stale AdvanceTo", c.Now())
+	}
+	c.AdvanceTo(2.0)
+	if c.Now() != 2.0 {
+		t.Fatalf("clock %v, want 2.0", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("clock %v after reset", c.Now())
+	}
+}
+
+func TestClockNeverRewinds(t *testing.T) {
+	f := func(deltas []float64) bool {
+		var c Clock
+		prev := Time(0)
+		for _, d := range deltas {
+			c.Advance(Time(d))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkAdd(t *testing.T) {
+	a := Work{CellsVisited: 1, PathSteps: 2, BytesCoded: 3}
+	b := Work{CellsVisited: 10, Cancellations: 5, SortedItems: 7}
+	a.Add(b)
+	if a.CellsVisited != 11 || a.PathSteps != 2 || a.Cancellations != 5 ||
+		a.BytesCoded != 3 || a.SortedItems != 7 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestComputeTimeLinear(t *testing.T) {
+	m := BlueGeneP()
+	w := Work{CellsVisited: 1000}
+	t1 := m.ComputeTime(w)
+	w2 := Work{CellsVisited: 2000}
+	t2 := m.ComputeTime(w2)
+	if diff := float64(t2) - 2*float64(t1); diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("compute time not linear: %v vs 2×%v", t2, t1)
+	}
+	if t1 <= 0 {
+		t.Fatal("non-positive compute time")
+	}
+}
+
+func TestMessageTimeComponents(t *testing.T) {
+	m := BlueGeneP()
+	small := m.MessageTime(0, 1)
+	if small <= 0 {
+		t.Fatal("zero-byte message has no latency")
+	}
+	far := m.MessageTime(0, 20)
+	if far <= small {
+		t.Fatal("hop count does not increase latency")
+	}
+	big := m.MessageTime(1<<20, 1)
+	if big <= small {
+		t.Fatal("payload size does not increase transfer time")
+	}
+	// Bandwidth term dominates for large messages.
+	if float64(big) < float64(1<<20)/m.LinkBW {
+		t.Fatal("transfer faster than link bandwidth")
+	}
+}
+
+func TestIOTimeAggregateCap(t *testing.T) {
+	m := BlueGeneP()
+	// One rank moving 1 MB among 4096 ranks each moving 1 MB: the
+	// aggregate constraint must dominate the per-rank one.
+	perRankOnly := m.IOTime(1<<20, 1<<20)
+	shared := m.IOTime(1<<20, 4096<<20)
+	if shared <= perRankOnly {
+		t.Fatal("aggregate bandwidth constraint not applied")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// Perfect scaling: 4× procs, 4× faster.
+	if e := Efficiency(100, 32, 25, 128); e < 0.999 || e > 1.001 {
+		t.Fatalf("perfect scaling efficiency %v", e)
+	}
+	// The paper's JET numbers: 970 s at 32 procs, 29 s at 8192 procs →
+	// 13% end-to-end efficiency.
+	e := Efficiency(970, 32, 29, 8192)
+	if e < 0.12 || e > 0.14 {
+		t.Fatalf("JET-style efficiency %v, want ≈ 0.13", e)
+	}
+	if Efficiency(1, 1, 0, 8) != 0 {
+		t.Fatal("zero time should yield zero efficiency")
+	}
+}
+
+func TestMaxAndConversions(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Fatal("Max broken")
+	}
+	if Time(1.5).Seconds() != 1.5 {
+		t.Fatal("Seconds broken")
+	}
+	if Time(2).Duration().Seconds() != 2 {
+		t.Fatal("Duration broken")
+	}
+	if Time(1).String() != "1.000000s" {
+		t.Fatalf("String %q", Time(1).String())
+	}
+}

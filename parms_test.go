@@ -1,0 +1,146 @@
+package parms
+
+import "testing"
+
+func TestPublicComputeMatchesSerial(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	serial := ComputeSerial(vol, 0.15)
+	wantNodes, _ := serial.AliveCounts()
+
+	res, err := Compute(vol, Options{Procs: 8, FullMerge: true, Persistence: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputBlocks != 1 {
+		t.Fatalf("output blocks %d", res.OutputBlocks)
+	}
+	if res.Nodes != wantNodes {
+		t.Fatalf("parallel nodes %v, serial %v", res.Nodes, wantNodes)
+	}
+	ms := res.Merged()
+	if ms == nil {
+		t.Fatal("no merged complex")
+	}
+	if ms.EulerCharacteristic() != 1 {
+		t.Fatalf("Euler characteristic %d", ms.EulerCharacteristic())
+	}
+	if res.TotalNodes() != ms.NumAliveNodes() {
+		t.Fatalf("TotalNodes %d != complex %d", res.TotalNodes(), ms.NumAliveNodes())
+	}
+	if res.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestPublicPartialMerge(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	res, err := Compute(vol, Options{
+		Procs:       8,
+		Radices:     PartialMergeRadices(8, 1)[:1],
+		Persistence: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputBlocks != 1 {
+		// Partial(8, 1) is [8]: a full merge for 8 blocks.
+		t.Fatalf("output blocks %d", res.OutputBlocks)
+	}
+}
+
+func TestPublicExtraction(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	ms := ComputeSerial(vol, 0.1)
+	sg := Extract(ms, FilterAnd(ByEndpointIndices(2, 3), ByMinValue(0)))
+	if sg.Arcs == 0 {
+		t.Fatal("no ridge arcs extracted")
+	}
+	if CountNodes(ms, 3, -2) == 0 {
+		t.Fatal("no maxima")
+	}
+	if len(PersistenceCurve(ms)) < 2 {
+		t.Fatal("degenerate persistence curve")
+	}
+	if ArcLengths(ms).Count == 0 {
+		t.Fatal("no arc lengths")
+	}
+}
+
+func TestFullMergeRadicesGuideline(t *testing.T) {
+	got := FullMergeRadices(2048)
+	want := []int{4, 8, 8, 8}
+	if len(got) != len(want) {
+		t.Fatalf("radices %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("radices %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEfficiencyExported(t *testing.T) {
+	if e := Efficiency(970, 32, 29, 8192); e < 0.12 || e > 0.14 {
+		t.Fatalf("efficiency %v", e)
+	}
+}
+
+func TestComputeInSituMatchesCompute(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	lo, hi := vol.Range()
+
+	direct, err := Compute(vol, Options{Procs: 4, FullMerge: true, Persistence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insitu, err := ComputeInSitu(vol.Dims, func(blkLo, blkHi [3]int) *Volume {
+		return vol.SubVolume(blkLo, blkHi)
+	}, lo, hi, Options{Procs: 4, FullMerge: true, Persistence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Nodes != insitu.Nodes || direct.Arcs != insitu.Arcs {
+		t.Fatalf("in-situ %v/%d, direct %v/%d", insitu.Nodes, insitu.Arcs, direct.Nodes, direct.Arcs)
+	}
+	if insitu.Times.Read > direct.Times.Read {
+		t.Errorf("in-situ read stage (%v) not cheaper than file read (%v)",
+			insitu.Times.Read, direct.Times.Read)
+	}
+}
+
+func TestSimplifyPublicMonotone(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	lo, hi := vol.Range()
+	ms := ComputeSerial(vol, 0.05)
+	n1 := ms.NumAliveNodes()
+	Simplify(ms, 0.3, lo, hi)
+	n2 := ms.NumAliveNodes()
+	if n2 > n1 {
+		t.Fatalf("simplification grew the complex: %d -> %d", n1, n2)
+	}
+	if n2 == n1 {
+		t.Fatalf("raising the threshold to 30%% cancelled nothing (%d nodes)", n1)
+	}
+}
+
+func TestMultiResolutionPublic(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	ms := ComputeSerial(vol, 0.3)
+	max := ms.MaxResolution()
+	if max == 0 {
+		t.Fatal("no hierarchy recorded")
+	}
+	coarse := ms.NumAliveNodes()
+	ms.SetResolution(0)
+	fine := ms.NumAliveNodes()
+	if fine != coarse+2*max {
+		t.Fatalf("finest level has %d nodes, want %d", fine, coarse+2*max)
+	}
+	ms.SetResolution(max)
+	if ms.NumAliveNodes() != coarse {
+		t.Fatal("navigation did not return to the coarse level")
+	}
+	if len(Diagram(ms, vol.Dims)) != max {
+		t.Fatalf("diagram has %d pairs, want %d", len(Diagram(ms, vol.Dims)), max)
+	}
+}
