@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race chaos fuzz vet bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The chaos suite: every fault-injection and recovery test (rank
+# crashes, dropped/corrupted/duplicated payloads, flaky storage) under
+# the race detector. No injected fault may hang; each test carries a
+# hard real-time guard.
+chaos:
+	$(GO) test -race -run Chaos ./...
+
+# Brief coverage-guided fuzz of the frame decoder on top of the seeded
+# corpus that `make test` already replays.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzChaosUnframe -fuzztime 30s ./internal/merge/
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

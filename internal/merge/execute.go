@@ -3,6 +3,7 @@ package merge
 import (
 	"fmt"
 
+	"parms/internal/fault"
 	"parms/internal/grid"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
@@ -24,6 +25,29 @@ type RoundStats struct {
 	Blocks int
 }
 
+// Options configures Execute beyond the schedule itself.
+type Options struct {
+	// Threshold is the persistence simplification threshold re-applied
+	// after every round.
+	Threshold float32
+	// Timeout is the virtual-time budget a group root waits for each
+	// member payload. 0 selects plain blocking receives: any lost
+	// message then blocks forever, so set a timeout whenever faults are
+	// possible.
+	Timeout vtime.Time
+	// Recompute rebuilds one original block's simplified, compacted
+	// complex from source data. When set, Execute degrades gracefully:
+	// a member that times out or arrives corrupted is excluded from its
+	// group's glue, recorded, and deterministically reconstructed —
+	// the compute stage is deterministic, so the rebuilt subtree is
+	// identical to the lost one. When nil, any missing block is a hard
+	// error (the pre-fault-tolerance behavior).
+	Recompute func(block int) (*mscomplex.Complex, error)
+	// Report, when non-nil, accumulates this rank's observed fault
+	// events.
+	Report *fault.Report
+}
+
 // Execute runs the merge rounds of the schedule over the per-block
 // complexes owned by this rank, under block-cyclic block-to-rank
 // assignment. complexes maps block id → complex for this rank's blocks;
@@ -31,12 +55,30 @@ type RoundStats struct {
 // by the merged, re-simplified complex. Every rank of the cluster must
 // call Execute collectively. It returns per-round statistics (identical
 // on every rank).
-func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*mscomplex.Complex, threshold float32) ([]RoundStats, error) {
+//
+// Every payload travels in a length+CRC32C frame (mpsim.Frame); a root
+// never glues bytes that fail the checksum. With Options.Recompute set,
+// Execute survives rank crashes (at "merge:<round>" checkpoints),
+// dropped, delayed and corrupted messages: affected blocks are excluded
+// from the round, recomputed, and glued back in before the next round,
+// so the surviving complex matches the fault-free run.
+func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*mscomplex.Complex, opts Options) ([]RoundStats, error) {
 	procs := r.Size()
 	stats := make([]RoundStats, 0, len(sched.Radices))
 	for round := range sched.Radices {
 		startT := r.AllreduceMaxTime()
 		startBytes := float64(r.BytesSent())
+		if r.Checkpoint(fmt.Sprintf("merge:%d", round)) {
+			// Crash-restart: every complex this rank held is gone. Roots
+			// are rebuilt below; member payloads simply never get sent,
+			// and their group roots recover them after timing out.
+			for id := range complexes {
+				delete(complexes, id)
+			}
+			if opts.Report != nil {
+				opts.Report.RankCrashes++
+			}
+		}
 		groups := sched.RoundGroups(nblocks, round)
 
 		// Phase 1: every non-root member owned by this rank sends its
@@ -51,9 +93,14 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				}
 				ms, ok := complexes[m]
 				if !ok {
-					return nil, fmt.Errorf("merge: rank %d does not hold block %d", r.ID(), m)
+					if opts.Recompute == nil {
+						return nil, fmt.Errorf("merge: rank %d does not hold block %d", r.ID(), m)
+					}
+					// Lost to a crash: stay silent and let the root's
+					// timeout path recover the subtree.
+					continue
 				}
-				payload := ms.Serialize()
+				payload := mpsim.Frame(ms.Serialize())
 				w := vtime.Work{BytesCoded: int64(len(payload))}
 				r.Compute(w)
 				// A same-rank transfer still goes through the mailbox
@@ -65,23 +112,57 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 
 		// Phase 2: every root owned by this rank receives the group
 		// members, glues them in member order, and re-simplifies.
+		// Members that time out or fail the checksum are excluded here
+		// and recovered below, before the next round.
 		for _, g := range groups {
 			if grid.RankOfBlock(g.Root, procs) != r.ID() {
 				continue
 			}
 			root, ok := complexes[g.Root]
 			if !ok {
-				return nil, fmt.Errorf("merge: rank %d does not hold root block %d", r.ID(), g.Root)
+				if opts.Recompute == nil {
+					return nil, fmt.Errorf("merge: rank %d does not hold root block %d", r.ID(), g.Root)
+				}
+				rebuilt, err := Rebuild(r, sched, nblocks, g.Root, round, opts)
+				if err != nil {
+					return nil, fmt.Errorf("merge: rebuild root block %d: %w", g.Root, err)
+				}
+				root = rebuilt
 			}
+			var missing []int
 			for _, m := range g.Members {
 				if m == g.Root {
 					continue
 				}
 				srcRank := grid.RankOfBlock(m, procs)
-				payload, _ := r.Recv(srcRank, tagMergeBase+round*16+(m-g.Root)/stride)
-				other, err := mscomplex.Deserialize(payload)
+				tag := tagMergeBase + round*16 + (m-g.Root)/stride
+				var payload []byte
+				if opts.Timeout > 0 {
+					var ok bool
+					payload, _, ok = r.RecvTimeout(srcRank, tag, opts.Timeout)
+					if !ok {
+						if opts.Recompute == nil {
+							return nil, fmt.Errorf("merge: timeout waiting for block %d from rank %d", m, srcRank)
+						}
+						if opts.Report != nil {
+							opts.Report.Timeouts++
+						}
+						missing = append(missing, m)
+						continue
+					}
+				} else {
+					payload, _ = r.Recv(srcRank, tag)
+				}
+				other, err := decodeMember(payload)
 				if err != nil {
-					return nil, fmt.Errorf("merge: block %d from rank %d: %w", m, srcRank, err)
+					if opts.Recompute == nil {
+						return nil, fmt.Errorf("merge: block %d from rank %d: %w", m, srcRank, err)
+					}
+					if opts.Report != nil {
+						opts.Report.Corruptions++
+					}
+					missing = append(missing, m)
+					continue
 				}
 				r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
 				workBefore := root.Work
@@ -89,9 +170,27 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				r.Compute(workDelta(root.Work, workBefore))
 			}
 			workBefore := root.Work
-			root.Simplify(mscomplex.SimplifyOptions{Threshold: threshold})
+			root.Simplify(mscomplex.SimplifyOptions{Threshold: opts.Threshold})
 			compacted := root.Compact() // carries root.Work plus its own ops
 			r.Compute(workDelta(compacted.Work, workBefore))
+
+			// Recovery: rebuild each excluded member's subtree and glue
+			// it in before the next round. Excluded subtrees stayed
+			// outside compacted.Region, so their shared-boundary nodes
+			// were protected from the simplification above, exactly as
+			// in a fault-free merge order.
+			for _, m := range missing {
+				rebuilt, err := Rebuild(r, sched, nblocks, m, round, opts)
+				if err != nil {
+					return nil, fmt.Errorf("merge: rebuild block %d: %w", m, err)
+				}
+				workBefore := compacted.Work
+				compacted.Glue(rebuilt)
+				compacted.Simplify(mscomplex.SimplifyOptions{Threshold: opts.Threshold})
+				next := compacted.Compact()
+				r.Compute(workDelta(next.Work, workBefore))
+				compacted = next
+			}
 			complexes[g.Root] = compacted
 		}
 
@@ -105,6 +204,74 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 		})
 	}
 	return stats, nil
+}
+
+// decodeMember unframes and deserializes one merge payload, rejecting
+// any corruption.
+func decodeMember(payload []byte) (*mscomplex.Complex, error) {
+	inner, err := mpsim.Unframe(payload)
+	if err != nil {
+		return nil, err
+	}
+	return mscomplex.Deserialize(inner)
+}
+
+// Rebuild deterministically reconstructs the merged complex that block
+// carries entering the given round: the per-block complexes of its
+// subtree (the stride-sized id range the earlier rounds folded into it)
+// recomputed from source data via opts.Recompute, then the earlier
+// rounds replayed locally in the same glue order and with the same
+// per-round simplification as the original merge. Because both the
+// compute stage and the merge are deterministic, the result is
+// identical to the complex that was lost. The work performed is charged
+// to r's virtual clock, so recovery cost is visible in the trace.
+func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Options) (*mscomplex.Complex, error) {
+	if opts.Recompute == nil {
+		return nil, fmt.Errorf("merge: no recompute callback")
+	}
+	span := sched.Stride(round)
+	end := block + span
+	if end > nblocks {
+		end = nblocks
+	}
+	local := make(map[int]*mscomplex.Complex, span)
+	for b := block; b < end; b++ {
+		ms, err := opts.Recompute(b)
+		if err != nil {
+			return nil, err
+		}
+		local[b] = ms
+		if opts.Report != nil {
+			opts.Report.LostBlocks = append(opts.Report.LostBlocks, b)
+			opts.Report.RecoveredBlocks = append(opts.Report.RecoveredBlocks, b)
+		}
+	}
+	if opts.Report != nil {
+		opts.Report.Recomputes++
+	}
+	for rr := 0; rr < round; rr++ {
+		for _, g := range sched.RoundGroups(nblocks, rr) {
+			if g.Root < block || g.Root >= end {
+				continue
+			}
+			root := local[g.Root]
+			for _, m := range g.Members {
+				if m == g.Root {
+					continue
+				}
+				workBefore := root.Work
+				root.Glue(local[m])
+				r.Compute(workDelta(root.Work, workBefore))
+				delete(local, m)
+			}
+			workBefore := root.Work
+			root.Simplify(mscomplex.SimplifyOptions{Threshold: opts.Threshold})
+			compacted := root.Compact()
+			r.Compute(workDelta(compacted.Work, workBefore))
+			local[g.Root] = compacted
+		}
+	}
+	return local[block], nil
 }
 
 func workDelta(after, before vtime.Work) vtime.Work {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"parms/internal/fault"
 	"parms/internal/vtime"
 )
 
@@ -15,8 +16,9 @@ import (
 // views. Contents can be imported from and exported to the host
 // filesystem.
 type FS struct {
-	mu    sync.Mutex
-	files map[string]*file
+	mu     sync.Mutex
+	files  map[string]*file
+	faults *fault.Plan // nil = reliable storage
 }
 
 type file struct {
@@ -52,7 +54,11 @@ func (fs *FS) Create(name string) {
 }
 
 // WriteAt stores data at the given offset, growing the file as needed.
+// A fault plan may make it fail transiently (retryable) or permanently.
 func (fs *FS) WriteAt(name string, off int64, data []byte) error {
+	if err := fs.faults.OnFS(fault.FSWrite, name); err != nil {
+		return err
+	}
 	f, err := fs.open(name, true)
 	if err != nil {
 		return err
@@ -69,8 +75,12 @@ func (fs *FS) WriteAt(name string, off int64, data []byte) error {
 	return nil
 }
 
-// ReadAt returns n bytes starting at off.
+// ReadAt returns n bytes starting at off. A fault plan may make it fail
+// transiently (retryable) or permanently.
 func (fs *FS) ReadAt(name string, off int64, n int) ([]byte, error) {
+	if err := fs.faults.OnFS(fault.FSRead, name); err != nil {
+		return nil, err
+	}
 	f, err := fs.open(name, false)
 	if err != nil {
 		return nil, err
@@ -149,16 +159,41 @@ func (fs *FS) Export(name, hostPath string) error {
 	return os.WriteFile(hostPath, data, 0o644)
 }
 
+// Transient-error retry policy for rank-side I/O: up to ioRetryLimit
+// retries with exponential virtual backoff starting at ioRetryBackoff
+// seconds, the standard posture against a flaky parallel filesystem.
+// Permanent errors surface immediately.
+const (
+	ioRetryLimit   = 5
+	ioRetryBackoff = 1e-3
+)
+
+// retryIO runs op, retrying transient failures with backoff charged to
+// this rank's virtual clock.
+func (r *Rank) retryIO(op func() error) error {
+	backoff := ioRetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !fault.IsTransient(err) || attempt == ioRetryLimit {
+			return err
+		}
+		r.ioRetries++
+		r.clock.Advance(vtime.Time(backoff))
+		backoff *= 2
+	}
+}
+
 // CollectiveWrite is the rank-side collective file write (MPI-IO style).
 // Every rank in the cluster must call it once per collective operation;
 // ranks with nothing to contribute pass an empty data slice (the paper's
 // "null write"). Offsets across ranks must not overlap. Clocks advance
 // by the modeled I/O time: all participants leave at the global
-// completion time, like a collective MPI_File_write_all.
+// completion time, like a collective MPI_File_write_all. Transient
+// filesystem errors are retried with backoff; permanent ones surface.
 func (r *Rank) CollectiveWrite(name string, off int64, data []byte) error {
 	var err error
 	if len(data) > 0 {
-		err = r.cluster.fs.WriteAt(name, off, data)
+		err = r.retryIO(func() error { return r.cluster.fs.WriteAt(name, off, data) })
 	}
 	r.ioAccount(int64(len(data)))
 	if err != nil {
@@ -168,12 +203,17 @@ func (r *Rank) CollectiveWrite(name string, off int64, data []byte) error {
 }
 
 // CollectiveRead is the rank-side collective file read. Every rank must
-// participate; n may be zero.
+// participate; n may be zero. Transient filesystem errors are retried
+// with backoff.
 func (r *Rank) CollectiveRead(name string, off int64, n int) ([]byte, error) {
 	var data []byte
 	var err error
 	if n > 0 {
-		data, err = r.cluster.fs.ReadAt(name, off, n)
+		err = r.retryIO(func() error {
+			var rerr error
+			data, rerr = r.cluster.fs.ReadAt(name, off, n)
+			return rerr
+		})
 	}
 	r.ioAccount(int64(n))
 	if err != nil {

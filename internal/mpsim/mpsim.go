@@ -13,9 +13,13 @@
 package mpsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"parms/internal/fault"
 	"parms/internal/torus"
 	"parms/internal/vtime"
 )
@@ -40,6 +44,18 @@ type Config struct {
 	// modeled message latencies — follow the placement, so mapping
 	// experiments can quantify communication locality.
 	Placement []int
+	// Faults, when non-nil, injects the plan's failures into the
+	// substrate: rank crashes at checkpoints, message drop/duplicate/
+	// delay/corrupt on point-to-point sends, and transient or permanent
+	// filesystem errors. Collectives are exempt (modeled as the
+	// hardware-assisted reliable trees of the BG/P).
+	Faults *fault.Plan
+	// RecvGrace bounds the real (host) time RecvTimeout waits for a
+	// message that has not been sent yet before declaring the virtual
+	// deadline expired; 0 selects 2s. Messages already pending are
+	// judged purely by their virtual arrival stamp, so the grace only
+	// matters for messages that genuinely never arrive.
+	RecvGrace time.Duration
 }
 
 // Cluster is a virtual distributed-memory machine.
@@ -51,8 +67,30 @@ type Cluster struct {
 	mailboxes []*mailbox
 	fs        *FS
 	placement []int // nil = identity
+	grace     time.Duration
+
+	// aborted is set when any rank's body fails, so that ranks blocked
+	// in receives unwind instead of waiting forever for messages their
+	// dead peer will never send (the MPI_Abort semantics).
+	aborted atomic.Bool
 
 	gate chan struct{} // nil when MaxParallel == 0
+}
+
+// abortMessage is the panic value blocked receives raise when the
+// cluster aborts; safeBody converts it into a per-rank error.
+const abortMessage = "cluster aborted: a peer rank failed"
+
+// abort wakes every rank blocked in a receive. Locking each mailbox
+// before broadcasting guarantees no waiter can miss the wakeup between
+// its abort check and its cond.Wait.
+func (c *Cluster) abort() {
+	c.aborted.Store(true)
+	for _, mb := range c.mailboxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
 }
 
 // New creates a cluster with the given configuration.
@@ -71,16 +109,22 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Placement != nil && len(cfg.Placement) != cfg.Procs {
 		return nil, fmt.Errorf("mpsim: placement has %d entries for %d procs", len(cfg.Placement), cfg.Procs)
 	}
+	grace := cfg.RecvGrace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		machine:   m,
 		net:       net,
 		fs:        NewFS(),
 		placement: cfg.Placement,
+		grace:     grace,
 	}
+	c.fs.faults = cfg.Faults
 	c.mailboxes = make([]*mailbox, cfg.Procs)
 	for i := range c.mailboxes {
-		c.mailboxes[i] = newMailbox()
+		c.mailboxes[i] = newMailbox(&c.aborted)
 	}
 	if cfg.MaxParallel > 0 {
 		c.gate = make(chan struct{}, cfg.MaxParallel)
@@ -108,14 +152,19 @@ func (c *Cluster) node(rank int) int {
 	return c.placement[rank]
 }
 
+// Faults returns the fault plan the cluster injects, or nil.
+func (c *Cluster) Faults() *fault.Plan { return c.cfg.Faults }
+
 // Run executes body once per rank, concurrently, and blocks until every
-// rank returns. It returns the per-rank final clocks and the first error
-// any rank reported. Mailboxes are reset before the run, so a Cluster
-// can host several consecutive programs.
+// rank returns. It returns the per-rank final clocks and all rank errors
+// joined (errors.Join), so a chaos run reports every failing rank, not
+// just the first. Mailboxes are reset before the run, so a Cluster can
+// host several consecutive programs.
 func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
 	for _, mb := range c.mailboxes {
 		mb.reset()
 	}
+	c.aborted.Store(false)
 	clocks := make([]vtime.Time, c.cfg.Procs)
 	errs := make([]error, c.cfg.Procs)
 	var wg sync.WaitGroup
@@ -131,22 +180,27 @@ func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
 			r.acquire()
 			defer r.release()
 			errs[id] = safeBody(body, r)
+			if errs[id] != nil {
+				// A failed rank will never send again: release any peer
+				// blocked waiting on it rather than deadlocking the run.
+				c.abort()
+			}
 			clocks[id] = r.clock.Now()
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for id, err := range errs {
 		if err != nil {
-			return clocks, err
+			errs[id] = fmt.Errorf("rank %d: %w", id, err)
 		}
 	}
-	return clocks, nil
+	return clocks, errors.Join(errs...)
 }
 
 func safeBody(body func(*Rank) error, r *Rank) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("rank %d panicked: %v", r.id, p)
+			err = fmt.Errorf("panicked: %v", p)
 		}
 	}()
 	return body(r)
@@ -161,6 +215,8 @@ type Rank struct {
 
 	bytesSent int64
 	msgsSent  int64
+	ioRetries int64
+	failed    bool
 }
 
 // ID returns this rank's index in [0, Size).
@@ -180,6 +236,29 @@ func (r *Rank) BytesSent() int64 { return r.bytesSent }
 
 // MessagesSent returns the number of point-to-point sends issued.
 func (r *Rank) MessagesSent() int64 { return r.msgsSent }
+
+// IORetries returns the number of filesystem operations this rank has
+// retried after transient errors.
+func (r *Rank) IORetries() int64 { return r.ioRetries }
+
+// Checkpoint marks a named point of the rank program where the cluster's
+// fault plan may crash this rank. It returns true exactly when the plan
+// fires here: the rank is then considered to have lost all application
+// state and restarted (the caller must discard its in-memory results),
+// with the plan's restart penalty added to the virtual clock.
+func (r *Rank) Checkpoint(stage string) bool {
+	p := r.cluster.cfg.Faults
+	if p == nil || !p.OnCheckpoint(r.id, stage, float64(r.clock.Now())) {
+		return false
+	}
+	r.failed = true
+	r.clock.Advance(vtime.Time(p.Penalty()))
+	return true
+}
+
+// Failed reports whether this rank has crashed at a checkpoint during
+// the current run.
+func (r *Rank) Failed() bool { return r.failed }
 
 // Compute advances the rank's clock by the modeled duration of the given
 // work tally.
@@ -206,10 +285,11 @@ type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
+	aborted *atomic.Bool // the owning cluster's abort flag
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox(aborted *atomic.Bool) *mailbox {
+	mb := &mailbox{aborted: aborted}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -233,11 +313,57 @@ func (mb *mailbox) take(src, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if m, ok := mb.match(src, tag); ok {
+			return m
+		}
+		if mb.aborted.Load() {
+			panic(abortMessage)
+		}
+		mb.cond.Wait()
+	}
+}
+
+// match removes and returns the first pending message matching
+// (src, tag). Callers hold mb.mu.
+func (mb *mailbox) match(src, tag int) (message, bool) {
+	for i, m := range mb.pending {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// takeDeadline is take with a bounded wait. A matching message whose
+// virtual arrival stamp is within deadline is delivered; one stamped
+// later is deterministically reported as a timeout (and left pending).
+// When no matching message exists at all, the wait is bounded by the
+// real-time grace, the escape hatch for messages that were dropped or
+// whose sender crashed — a lost message can never block forever.
+func (mb *mailbox) takeDeadline(src, tag int, deadline vtime.Time, grace time.Duration) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	expired := false
+	timer := time.AfterFunc(grace, func() {
+		mb.mu.Lock()
+		expired = true
+		mb.mu.Unlock()
+		mb.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for {
 		for i, m := range mb.pending {
 			if (src == AnySource || m.src == src) && m.tag == tag {
+				if m.arrival > deadline {
+					return message{}, false
+				}
 				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
-				return m
+				return m, true
 			}
+		}
+		if expired || mb.aborted.Load() {
+			return message{}, false
 		}
 		mb.cond.Wait()
 	}
@@ -252,30 +378,90 @@ const AnySource = -1
 // sending, as a real MPI program must not reuse a buffer before the
 // matching receive completes.
 func (r *Rank) Send(dst, tag int, data []byte) {
+	if err := r.TrySend(dst, tag, data); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TrySend is Send returning an error instead of panicking on an invalid
+// destination, for callers that must degrade gracefully.
+func (r *Rank) TrySend(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= r.Size() {
-		panic(fmt.Sprintf("mpsim: send to invalid rank %d (size %d)", dst, r.Size()))
+		return fmt.Errorf("mpsim: send to invalid rank %d (size %d)", dst, r.Size())
 	}
 	m := r.cluster.machine
 	hops := r.cluster.net.Hops(r.cluster.node(r.id), r.cluster.node(dst))
 	transfer := m.MessageTime(len(data), hops)
 	// Sender pays the injection overhead; the wire time determines the
-	// arrival stamp.
+	// arrival stamp. A faulted (dropped, corrupted, …) message costs the
+	// sender exactly the same as a healthy one — the sender cannot tell.
 	r.clock.Advance(vtime.Time(m.MsgLatency))
 	arrival := r.clock.Now() + transfer
 	r.bytesSent += int64(len(data))
 	r.msgsSent++
-	r.cluster.mailboxes[dst].put(message{src: r.id, tag: tag, data: data, arrival: arrival})
+	deliveries := []fault.Delivery{{Data: data}}
+	if p := r.cluster.cfg.Faults; p != nil && tag < tagBarrierUp {
+		// Collective-tag traffic is exempt: the modeled machine's
+		// collective network is treated as reliable.
+		deliveries = p.OnSend(r.id, dst, tag, data)
+	}
+	for _, d := range deliveries {
+		r.cluster.mailboxes[dst].put(message{
+			src: r.id, tag: tag, data: d.Data,
+			arrival: arrival + vtime.Time(d.ExtraDelay),
+		})
+	}
+	return nil
+}
+
+func (r *Rank) checkSrc(src int) {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("mpsim: recv from invalid rank %d (size %d)", src, r.Size()))
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives and
-// returns its payload and actual source. src may be AnySource.
+// returns its payload and actual source. src may be AnySource; any other
+// out-of-range source panics (a matching message could never arrive).
 func (r *Rank) Recv(src, tag int) ([]byte, int) {
+	r.checkSrc(src)
 	r.release()
 	msg := r.cluster.mailboxes[r.id].take(src, tag)
 	r.acquire()
 	r.clock.AdvanceTo(msg.arrival)
 	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
 	return msg.data, msg.src
+}
+
+// TryRecv is Recv returning an error instead of panicking on an invalid
+// source.
+func (r *Rank) TryRecv(src, tag int) ([]byte, int, error) {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		return nil, 0, fmt.Errorf("mpsim: recv from invalid rank %d (size %d)", src, r.Size())
+	}
+	data, from := r.Recv(src, tag)
+	return data, from, nil
+}
+
+// RecvTimeout is Recv with a virtual-time deadline of Clock()+timeout.
+// It returns ok=false — with the clock advanced to the deadline, as a
+// real timed wait would leave it — when no matching message arrives in
+// time: the message was dropped, delayed past the deadline, or its
+// sender crashed. It is the bounded-blocking primitive every
+// fault-tolerant receive path must use instead of Recv.
+func (r *Rank) RecvTimeout(src, tag int, timeout vtime.Time) ([]byte, int, bool) {
+	r.checkSrc(src)
+	deadline := r.clock.Now() + timeout
+	r.release()
+	msg, ok := r.cluster.mailboxes[r.id].takeDeadline(src, tag, deadline, r.cluster.grace)
+	r.acquire()
+	if !ok {
+		r.clock.AdvanceTo(deadline)
+		return nil, 0, false
+	}
+	r.clock.AdvanceTo(msg.arrival)
+	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
+	return msg.data, msg.src, true
 }
 
 func (r *Rank) acquire() {

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"parms/internal/fault"
 	"parms/internal/grid"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
@@ -26,27 +27,51 @@ func WriteVolume(fs *mpsim.FS, name string, v *grid.Volume) {
 // samples to float32. The caller accounts the I/O time separately via
 // Rank.IOAccount, because several ranks read collectively.
 func ReadBlockVolume(fs *mpsim.FS, name string, dims grid.Dims, dt grid.DType, b grid.Block) (*grid.Volume, error) {
+	vol, _, err := ReadBlockVolumeStats(fs, name, dims, dt, b)
+	return vol, err
+}
+
+// readRetryLimit bounds how often one row read is retried after a
+// transient (flaky-storage) error before giving up.
+const readRetryLimit = 5
+
+// ReadBlockVolumeStats is ReadBlockVolume reporting how many row reads
+// had to be retried after transient filesystem errors. Permanent errors
+// (and transient ones persisting past the retry limit) surface as
+// errors.
+func ReadBlockVolumeStats(fs *mpsim.FS, name string, dims grid.Dims, dt grid.DType, b grid.Block) (*grid.Volume, int, error) {
 	bd := b.Dims()
 	out := grid.NewVolume(bd)
 	ss := int64(dt.Size())
 	rowBytes := int(ss) * bd[0]
+	retries := 0
 	for z := 0; z < bd[2]; z++ {
 		for y := 0; y < bd[1]; y++ {
 			off := ss * (int64(b.Lo[0]) +
 				int64(b.Lo[1]+y)*int64(dims[0]) +
 				int64(b.Lo[2]+z)*int64(dims[0])*int64(dims[1]))
-			raw, err := fs.ReadAt(name, off, rowBytes)
+			raw, err := readAtRetry(fs, name, off, rowBytes, &retries)
 			if err != nil {
-				return nil, fmt.Errorf("pario: block %d row (%d,%d): %w", b.ID, y, z, err)
+				return nil, retries, fmt.Errorf("pario: block %d row (%d,%d): %w", b.ID, y, z, err)
 			}
 			row, err := grid.DecodeSamples(raw, dt)
 			if err != nil {
-				return nil, err
+				return nil, retries, err
 			}
 			copy(out.Data[out.VertIndex(0, y, z):], row)
 		}
 	}
-	return out, nil
+	return out, retries, nil
+}
+
+func readAtRetry(fs *mpsim.FS, name string, off int64, n int, retries *int) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		raw, err := fs.ReadAt(name, off, n)
+		if err == nil || !fault.IsTransient(err) || attempt == readRetryLimit {
+			return raw, err
+		}
+		*retries++
+	}
 }
 
 // BlockBytes returns the number of bytes a block's subarray read moves.
@@ -54,21 +79,36 @@ func BlockBytes(dt grid.DType, b grid.Block) int64 {
 	return int64(dt.Size()) * b.Verts()
 }
 
-// Output file format:
+// Output file format (version 2, checksummed):
 //
-//	payload of block A | payload of block B | ... | footer | footerLen u64 | magic u64
+//	payload of block A | payload of block B | ... | footer | trailer
 //
 // footer:
 //
 //	u32 entry count, then per entry:
-//	  u32 block id, u64 offset, u64 size, u32 region length, u32 region ids
-const outputMagic = 0x314d5346435350 // "PCSFM1"
+//	  u32 block id, u64 offset, u64 size, u32 payload crc32c,
+//	  u32 region length, u32 region ids
+//
+// trailer (20 bytes):
+//
+//	footerLen u64 | footer crc32c u32 | magic u64
+//
+// The per-entry CRC covers the block payload; the trailer CRC covers
+// the footer bytes. A reader can therefore detect any corruption of
+// either the index or the payloads before deserializing.
+const outputMagic = 0x324d5346435350 // "PCSFM2"
 
-// IndexEntry locates one MS complex block inside an output file.
+// trailerLen is the fixed byte length of the output file trailer.
+const trailerLen = 20
+
+// IndexEntry locates one MS complex block inside an output file. CRC is
+// the CRC-32C of the payload bytes; zero means "not recorded" (payload
+// verification is skipped).
 type IndexEntry struct {
 	BlockID int32
 	Offset  int64
 	Size    int64
+	CRC     uint32
 	Region  []int32
 }
 
@@ -81,40 +121,47 @@ func EncodeFooter(entries []IndexEntry) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.BlockID))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Offset))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Size))
+		buf = binary.LittleEndian.AppendUint32(buf, e.CRC)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Region)))
 		for _, b := range e.Region {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(b))
 		}
 	}
 	footerLen := uint64(len(buf))
+	footerCRC := mpsim.Checksum(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, footerLen)
+	buf = binary.LittleEndian.AppendUint32(buf, footerCRC)
 	buf = binary.LittleEndian.AppendUint64(buf, outputMagic)
 	return buf
 }
 
-// ReadIndex parses the footer of an output file.
+// ReadIndex parses and verifies the footer of an output file.
 func ReadIndex(fs *mpsim.FS, name string) ([]IndexEntry, error) {
 	size, err := fs.Size(name)
 	if err != nil {
 		return nil, err
 	}
-	if size < 16 {
+	if size < trailerLen {
 		return nil, fmt.Errorf("pario: %q too small for a footer", name)
 	}
-	tail, err := fs.ReadAt(name, size-16, 16)
+	tail, err := fs.ReadAt(name, size-trailerLen, trailerLen)
 	if err != nil {
 		return nil, err
 	}
 	footerLen := int64(binary.LittleEndian.Uint64(tail[0:8]))
-	if magic := binary.LittleEndian.Uint64(tail[8:16]); magic != outputMagic {
+	footerCRC := binary.LittleEndian.Uint32(tail[8:12])
+	if magic := binary.LittleEndian.Uint64(tail[12:20]); magic != outputMagic {
 		return nil, fmt.Errorf("pario: bad magic %#x in %q", magic, name)
 	}
-	if footerLen < 4 || footerLen > size-16 {
+	if footerLen < 4 || footerLen > size-trailerLen {
 		return nil, fmt.Errorf("pario: bad footer length %d in %q", footerLen, name)
 	}
-	raw, err := fs.ReadAt(name, size-16-footerLen, int(footerLen))
+	raw, err := fs.ReadAt(name, size-trailerLen-footerLen, int(footerLen))
 	if err != nil {
 		return nil, err
+	}
+	if got := mpsim.Checksum(raw); got != footerCRC {
+		return nil, fmt.Errorf("pario: footer checksum mismatch in %q: %#x != %#x", name, got, footerCRC)
 	}
 	off := 0
 	u32 := func() uint32 {
@@ -133,6 +180,7 @@ func ReadIndex(fs *mpsim.FS, name string) ([]IndexEntry, error) {
 		e := IndexEntry{BlockID: int32(u32())}
 		e.Offset = int64(u64())
 		e.Size = int64(u64())
+		e.CRC = u32()
 		nRegion := int(u32())
 		e.Region = make([]int32, nRegion)
 		for j := range e.Region {
@@ -143,11 +191,17 @@ func ReadIndex(fs *mpsim.FS, name string) ([]IndexEntry, error) {
 	return entries, nil
 }
 
-// LoadComplex reads and deserializes one indexed complex block.
+// LoadComplex reads, checksum-verifies and deserializes one indexed
+// complex block.
 func LoadComplex(fs *mpsim.FS, name string, e IndexEntry) (*mscomplex.Complex, error) {
 	payload, err := fs.ReadAt(name, e.Offset, int(e.Size))
 	if err != nil {
 		return nil, err
+	}
+	if e.CRC != 0 {
+		if got := mpsim.Checksum(payload); got != e.CRC {
+			return nil, fmt.Errorf("pario: payload checksum mismatch for block %d: %#x != %#x", e.BlockID, got, e.CRC)
+		}
 	}
 	return mscomplex.Deserialize(payload)
 }

@@ -59,9 +59,10 @@ func TestOutputFileRoundTrip(t *testing.T) {
 	ms := makeComplex(t)
 	payload := ms.Serialize()
 
+	crc := mpsim.Checksum(payload)
 	entries := []IndexEntry{
-		{BlockID: 0, Offset: 0, Size: int64(len(payload)), Region: []int32{0}},
-		{BlockID: 4, Offset: int64(len(payload)), Size: int64(len(payload)), Region: []int32{4, 5}},
+		{BlockID: 0, Offset: 0, Size: int64(len(payload)), CRC: crc, Region: []int32{0}},
+		{BlockID: 4, Offset: int64(len(payload)), Size: int64(len(payload)), CRC: crc, Region: []int32{4, 5}},
 	}
 	var file []byte
 	file = append(file, payload...)
@@ -78,6 +79,9 @@ func TestOutputFileRoundTrip(t *testing.T) {
 	}
 	if idx[1].BlockID != 4 || len(idx[1].Region) != 2 || idx[1].Region[1] != 5 {
 		t.Fatalf("entry 1: %+v", idx[1])
+	}
+	if idx[0].CRC != crc || idx[1].CRC != crc {
+		t.Fatalf("payload CRCs not round-tripped: %#x %#x want %#x", idx[0].CRC, idx[1].CRC, crc)
 	}
 	all, err := LoadAll(fs, "out.msc")
 	if err != nil {
@@ -108,11 +112,49 @@ func TestReadIndexRejectsCorrupt(t *testing.T) {
 	// Valid magic but absurd footer length.
 	bad := make([]byte, 32)
 	tail := EncodeFooter(nil)
-	// Corrupt the length field.
-	tail[len(tail)-16] = 0xff
+	// Corrupt the length field (first byte of the 20-byte trailer).
+	tail[len(tail)-20] = 0xff
 	bad = append(bad, tail...)
 	fs.Put("badlen", bad)
 	if _, err := ReadIndex(fs, "badlen"); err == nil {
 		t.Fatal("accepted bad footer length")
+	}
+}
+
+func TestChecksumsRejectCorruption(t *testing.T) {
+	fs := mpsim.NewFS()
+	ms := makeComplex(t)
+	payload := ms.Serialize()
+	entries := []IndexEntry{
+		{BlockID: 0, Offset: 0, Size: int64(len(payload)), CRC: mpsim.Checksum(payload), Region: []int32{0}},
+	}
+	file := append(append([]byte(nil), payload...), EncodeFooter(entries)...)
+
+	// A flipped bit inside the footer body fails the trailer checksum.
+	corrupted := append([]byte(nil), file...)
+	corrupted[len(payload)+2] ^= 0x01
+	fs.Put("badfooter", corrupted)
+	if _, err := ReadIndex(fs, "badfooter"); err == nil {
+		t.Fatal("accepted corrupted footer")
+	}
+
+	// A flipped bit inside the payload fails the per-entry checksum.
+	corrupted = append([]byte(nil), file...)
+	corrupted[len(payload)/2] ^= 0x80
+	fs.Put("badpayload", corrupted)
+	idx, err := ReadIndex(fs, "badpayload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadComplex(fs, "badpayload", idx[0]); err == nil {
+		t.Fatal("accepted corrupted payload")
+	}
+
+	// CRC 0 means "not recorded": verification is skipped and the
+	// corruption surfaces (or not) in deserialization only.
+	idx[0].CRC = 0
+	fs.Put("intact", file)
+	if _, err := LoadComplex(fs, "intact", idx[0]); err != nil {
+		t.Fatalf("unrecorded CRC rejected intact payload: %v", err)
 	}
 }

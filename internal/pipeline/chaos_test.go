@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parms/internal/fault"
+	"parms/internal/grid"
+	"parms/internal/mpsim"
+	"parms/internal/pario"
+	"parms/internal/synth"
+)
+
+// runChaos executes the pipeline under a fault plan with a hard
+// real-time hang guard: no injected fault is ever allowed to hang the
+// run, only to fail it or be survived.
+func runChaos(t *testing.T, procs int, plan *fault.Plan, grace time.Duration,
+	p Params, vol *grid.Volume) (*mpsim.Cluster, *Result, error) {
+	t.Helper()
+	c, err := mpsim.New(mpsim.Config{Procs: procs, Faults: plan, RecvGrace: grace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pario.WriteVolume(c.FS(), p.File, vol)
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(c, p)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return c, o.res, o.err
+	case <-time.After(120 * time.Second):
+		t.Fatal("chaos run hung")
+		return nil, nil, nil
+	}
+}
+
+func blockList(blocks []int) string { return fmt.Sprint(blocks) }
+
+// TestChaosSurvivesCrashDropAndCorruption is the headline fault drill:
+// a 64-rank full-merge run of the sinusoid volume with a rank crash, a
+// dropped merge payload and a corrupted merge payload injected. The run
+// must complete, report every fault accurately, and produce exactly the
+// fault-free result.
+func TestChaosSurvivesCrashDropAndCorruption(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: 64, Radices: []int{8, 8}, Persistence: 0.1,
+	}
+
+	_, clean, err := runChaos(t, 64, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := clean.FaultReport; rep.Faulty() {
+		t.Fatalf("fault-free run reports faults: %v", rep)
+	}
+
+	// Rank 5 crashes after the compute stage (its block 5 complex is
+	// lost and never sent); rank 3's first merge payload to rank 0 is
+	// dropped; rank 6's is corrupted in flight. All three blocks belong
+	// to the round-0 group rooted at block 0, owned by rank 0.
+	plan := fault.NewPlan(42).
+		CrashRank(5, "compute").
+		DropMessage(3, 0, 1).
+		CorruptMessage(6, 0, 1)
+	fs, res, err := runChaos(t, 64, plan, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := res.FaultReport
+	if rep.RankCrashes != 1 {
+		t.Errorf("RankCrashes = %d, want 1", rep.RankCrashes)
+	}
+	// The crashed rank's silence and the dropped payload each cost the
+	// root one receive timeout; the corrupted payload arrives on time
+	// but fails the checksum.
+	if rep.Timeouts != 2 {
+		t.Errorf("Timeouts = %d, want 2", rep.Timeouts)
+	}
+	if rep.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", rep.Corruptions)
+	}
+	if rep.Recomputes != 3 {
+		t.Errorf("Recomputes = %d, want 3", rep.Recomputes)
+	}
+	want := blockList([]int{3, 5, 6})
+	if blockList(rep.LostBlocks) != want || blockList(rep.RecoveredBlocks) != want {
+		t.Errorf("lost %v recovered %v, want %s both", rep.LostBlocks, rep.RecoveredBlocks, want)
+	}
+	if len(plan.Injected()) != 3 {
+		t.Errorf("injection log: %v", plan.Injected())
+	}
+
+	// Graceful degradation must be invisible in the output: identical
+	// surviving critical-point counts and a loadable, checksummed
+	// output file. (Arc multiplicities may differ: recovery glues the
+	// rebuilt subtree after the on-time members, and cancellation order
+	// affects which geometric arcs merge — the persistent critical
+	// points are order-invariant.)
+	if res.Nodes != clean.Nodes {
+		t.Errorf("faulty run nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+	if res.OutputBlocks != 1 {
+		t.Errorf("OutputBlocks = %d, want 1", res.OutputBlocks)
+	}
+	all, err := pario.LoadAll(fs.FS(), "vol.msc")
+	if err != nil {
+		t.Fatalf("load faulty run's output: %v", err)
+	}
+	n, _ := all[0].AliveCounts()
+	if n != clean.Nodes {
+		t.Errorf("output file nodes %v, fault-free %v", n, clean.Nodes)
+	}
+}
+
+// TestChaosSingleDropAlwaysRecovers is the drop-tolerance property: for
+// any single dropped point-to-point message, the run either completes
+// with the fault-free result or fails with an error — it never hangs
+// (runChaos enforces the bound) and never silently degrades.
+func TestChaosSingleDropAlwaysRecovers(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{8}, Persistence: 0.2,
+	}
+	_, clean, err := runChaos(t, 8, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 1; src < 8; src++ {
+		plan := fault.NewPlan(int64(src)).DropMessage(src, 0, 1)
+		_, res, err := runChaos(t, 8, plan, 500*time.Millisecond, params, vol)
+		if err != nil {
+			t.Errorf("drop %d->0: run failed: %v", src, err)
+			continue
+		}
+		if res.Nodes != clean.Nodes {
+			t.Errorf("drop %d->0: nodes %v, want %v", src, res.Nodes, clean.Nodes)
+		}
+		rep := res.FaultReport
+		if rep.Timeouts != 1 || blockList(rep.LostBlocks) != blockList([]int{src}) {
+			t.Errorf("drop %d->0: report %v", src, rep)
+		}
+	}
+}
+
+// TestChaosCrashAtMergeRound: a rank that carries a round-0 merge
+// result crashes entering round 1, taking its whole merged subtree with
+// it. The root must recover both underlying blocks.
+func TestChaosCrashAtMergeRound(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{2, 2}, Persistence: 0.2,
+	}
+	_, clean, err := runChaos(t, 4, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2 owns block 2, the root of round 0's {2,3} group.
+	plan := fault.NewPlan(7).CrashRank(2, "merge:1")
+	_, res, err := runChaos(t, 4, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if rep.RankCrashes != 1 || rep.Timeouts != 1 || rep.Recomputes != 1 {
+		t.Errorf("report %v; want 1 crash, 1 timeout, 1 recompute", rep)
+	}
+	if got := blockList(rep.RecoveredBlocks); got != blockList([]int{2, 3}) {
+		t.Errorf("recovered %v, want [2 3]", rep.RecoveredBlocks)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+}
+
+// TestChaosCrashAtWrite: the rank holding the fully merged complex
+// crashes entering the write stage; the write path must rebuild the
+// entire merge deterministically and still emit a bit-valid file.
+func TestChaosCrashAtWrite(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{2, 2}, Persistence: 0.2,
+	}
+	_, clean, err := runChaos(t, 4, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(9).CrashRank(0, "write")
+	fs, res, err := runChaos(t, 4, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if rep.RankCrashes != 1 || rep.Recomputes != 1 {
+		t.Errorf("report %v; want 1 crash, 1 recompute", rep)
+	}
+	if got := blockList(rep.RecoveredBlocks); got != blockList([]int{0, 1, 2, 3}) {
+		t.Errorf("recovered %v, want [0 1 2 3]", rep.RecoveredBlocks)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+	all, err := pario.LoadAll(fs.FS(), "vol.msc")
+	if err != nil {
+		t.Fatalf("load output: %v", err)
+	}
+	n, _ := all[0].AliveCounts()
+	if n != clean.Nodes {
+		t.Errorf("output nodes %v, want %v", n, clean.Nodes)
+	}
+}
+
+// TestChaosFlakyStorage: transient filesystem failures are retried and
+// reported; permanent ones fail the run cleanly instead of hanging.
+func TestChaosFlakyStorage(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{4}, Persistence: 0.2,
+	}
+	plan := fault.NewPlan(11).FailRead("vol", 2).FailWrite("vol.msc", 2)
+	_, res, err := runChaos(t, 4, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatalf("transient storage faults not survived: %v", err)
+	}
+	if res.FaultReport.IORetries < 4 {
+		t.Errorf("IORetries = %d, want >= 4", res.FaultReport.IORetries)
+	}
+
+	perm := fault.NewPlan(12).FailWrite("vol.msc", -1)
+	_, _, err = runChaos(t, 4, perm, 500*time.Millisecond, params, vol)
+	if err == nil {
+		t.Fatal("permanent write failure did not surface")
+	}
+}
+
+// TestChaosDuplicatedPayloadHarmless: a duplicated merge payload leaves
+// an orphan message in a round-unique tag slot; the result is
+// unaffected.
+func TestChaosDuplicatedPayloadHarmless(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{8}, Persistence: 0.2,
+	}
+	_, clean, err := runChaos(t, 8, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(13).DuplicateMessage(2, 0, 1)
+	_, res, err := runChaos(t, 8, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+	if res.FaultReport.Recomputes != 0 {
+		t.Errorf("duplicate forced %d recomputes", res.FaultReport.Recomputes)
+	}
+}

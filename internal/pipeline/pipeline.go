@@ -13,12 +13,14 @@ import (
 	"time"
 
 	"parms/internal/cube"
+	"parms/internal/fault"
 	"parms/internal/gradient"
 	"parms/internal/grid"
 	"parms/internal/merge"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
 	"parms/internal/pario"
+	"parms/internal/vtime"
 )
 
 // Params configures one pipeline run.
@@ -46,6 +48,13 @@ type Params struct {
 	Measured bool
 	// Trace bounds V-path enumeration.
 	Trace mscomplex.TraceOptions
+	// MergeTimeout is the virtual-time budget (seconds) a merge-group
+	// root waits for each member payload before excluding the member
+	// and recovering its blocks deterministically. 0 selects a default
+	// of defaultMergeTimeout seconds when the cluster carries a fault
+	// plan, and plain blocking receives otherwise (the fault-free fast
+	// path).
+	MergeTimeout float64
 	// Source, when non-nil, supplies each block's samples directly
 	// instead of reading File from storage — the in-situ mode of the
 	// paper's future work (section VII-B), where the simulation that
@@ -97,7 +106,19 @@ type Result struct {
 	// Complexes holds the final complexes by block id when
 	// Params.KeepComplexes is set.
 	Complexes map[int]*mscomplex.Complex
+	// FaultReport aggregates the fault events observed across all
+	// ranks: crashes survived, receive timeouts, corrupted payloads
+	// rejected, blocks lost and recovered, and I/O retries. It is
+	// zero-valued in a fault-free run.
+	FaultReport fault.Report
 }
+
+// defaultMergeTimeout is the per-member receive budget (virtual
+// seconds) used when a fault plan is active but Params.MergeTimeout is
+// unset. Payload transfer and serialization cost milliseconds at the
+// modeled scales, so one second distinguishes "lost" from "slow" with a
+// wide margin.
+const defaultMergeTimeout = 1.0
 
 // Run executes the pipeline on the cluster and returns the combined
 // result. It must be called from a single goroutine; it runs the rank
@@ -143,6 +164,15 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	myBlocks := grid.AssignBlocks(nblocks, r.Size(), r.ID())
 	maxPerRank := (nblocks + r.Size() - 1) / r.Size()
 
+	report := &fault.Report{}
+	// Fault tolerance engages when the cluster carries a fault plan or
+	// the caller asked for bounded merge receives explicitly.
+	ft := c.Faults() != nil || p.MergeTimeout > 0
+	timeout := p.MergeTimeout
+	if timeout == 0 && c.Faults() != nil {
+		timeout = defaultMergeTimeout
+	}
+
 	t0 := r.AllreduceMaxTime()
 
 	// --- Read data blocks (section IV-B), or receive them in situ ---
@@ -165,7 +195,8 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 			var bytes int64
 			if i < len(myBlocks) {
 				b := dec.Blocks[myBlocks[i]]
-				vol, err := pario.ReadBlockVolume(c.FS(), p.File, p.Dims, p.DType, b)
+				vol, retries, err := pario.ReadBlockVolumeStats(c.FS(), p.File, p.Dims, p.DType, b)
+				report.IORetries += retries
 				if err != nil {
 					return err
 				}
@@ -175,6 +206,15 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 			r.IOAccount(bytes)
 		}
 	}
+	if r.Checkpoint("read") {
+		// Crash-restart during the read stage: every volume this rank
+		// read is gone. The compute stage below skips the missing
+		// blocks; the merge stage recovers them deterministically.
+		for bid := range vols {
+			delete(vols, bid)
+		}
+		report.RankCrashes++
+	}
 	t1 := r.AllreduceMaxTime()
 
 	// --- Compute gradient, MS complex, and simplify per block
@@ -183,9 +223,15 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	truncated := 0
 	computeStart := float64(r.Clock())
 	for _, bid := range myBlocks {
+		vol, ok := vols[bid]
+		if !ok {
+			// Lost to a crash at the read checkpoint; the merge stage
+			// recomputes it on demand.
+			continue
+		}
 		b := dec.Blocks[bid]
 		start := time.Now()
-		cc := cube.New(p.Dims, b, vols[bid])
+		cc := cube.New(p.Dims, b, vol)
 		field := gradient.Compute(cc, dec)
 		traced := mscomplex.FromField(field, dec, p.Trace)
 		truncated += traced.Truncated
@@ -202,6 +248,14 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 			r.Compute(w)
 		}
 	}
+	if r.Checkpoint("compute") {
+		// Crash-restart during the compute stage: the per-block
+		// complexes are gone; merge recovery rebuilds them.
+		for bid := range complexes {
+			delete(complexes, bid)
+		}
+		report.RankCrashes++
+	}
 	computeLocal := float64(r.Clock()) - computeStart
 	computeMean := r.AllreduceFloat64(computeLocal, "sum") / float64(r.Size())
 	t2 := r.AllreduceMaxTime()
@@ -212,14 +266,27 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	rawNodes := int(r.AllreduceFloat64(float64(rawLocal), "sum"))
 
 	// --- Merge rounds (section IV-F) ---
-	rounds, err := merge.Execute(r, sched, nblocks, complexes, p.Persistence)
+	mopts := merge.Options{Threshold: p.Persistence, Report: report}
+	if ft {
+		mopts.Timeout = vtime.Time(timeout)
+		mopts.Recompute = recomputeBlock(r, c, p, dec, report)
+	}
+	rounds, err := merge.Execute(r, sched, nblocks, complexes, mopts)
 	if err != nil {
 		return err
 	}
 	t3 := r.AllreduceMaxTime()
 
 	// --- Write MS complex blocks (section IV-G) ---
-	outBytes, entries, err := writeOutput(r, c, p.OutFile, nblocks, sched, complexes)
+	if r.Checkpoint("write") {
+		// Crash-restart entering the write stage: surviving complexes
+		// are rebuilt one by one inside writeOutput.
+		for bid := range complexes {
+			delete(complexes, bid)
+		}
+		report.RankCrashes++
+	}
+	outBytes, entries, err := writeOutput(r, c, p.OutFile, nblocks, sched, complexes, mopts)
 	if err != nil {
 		return err
 	}
@@ -243,6 +310,38 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	arcTotal = int(r.AllreduceFloat64(float64(localArcs), "sum"))
 	bytesSent := int64(r.AllreduceFloat64(float64(r.BytesSent()), "sum"))
 
+	// Combine the per-rank fault reports: counters by allreduce, block
+	// lists gathered at rank 0 and normalized there.
+	report.IORetries += int(r.IORetries())
+	agg := fault.Report{
+		RankCrashes: int(r.AllreduceFloat64(float64(report.RankCrashes), "sum")),
+		Timeouts:    int(r.AllreduceFloat64(float64(report.Timeouts), "sum")),
+		Corruptions: int(r.AllreduceFloat64(float64(report.Corruptions), "sum")),
+		Recomputes:  int(r.AllreduceFloat64(float64(report.Recomputes), "sum")),
+		IORetries:   int(r.AllreduceFloat64(float64(report.IORetries), "sum")),
+	}
+	var listMsg []byte
+	listMsg = appendU64(listMsg, uint64(len(report.LostBlocks)))
+	for _, b := range report.LostBlocks {
+		listMsg = appendU64(listMsg, uint64(b))
+	}
+	listMsg = appendU64(listMsg, uint64(len(report.RecoveredBlocks)))
+	for _, b := range report.RecoveredBlocks {
+		listMsg = appendU64(listMsg, uint64(b))
+	}
+	for _, msg := range r.Gather(0, listMsg) {
+		o := 0
+		for _, dst := range []*[]int{&agg.LostBlocks, &agg.RecoveredBlocks} {
+			n := int(u64At(msg, o))
+			o += 8
+			for j := 0; j < n; j++ {
+				*dst = append(*dst, int(u64At(msg, o)))
+				o += 8
+			}
+		}
+	}
+	agg.Normalize()
+
 	if r.ID() == 0 {
 		mu.Lock()
 		res.Times = StageTimes{
@@ -261,6 +360,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		res.ComputeMean = computeMean
 		res.BytesSent = bytesSent
 		res.Truncated = truncTotal
+		res.FaultReport = agg
 		mu.Unlock()
 	}
 	if res.Complexes != nil {
@@ -273,10 +373,53 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	return nil
 }
 
+// recomputeBlock returns the merge recovery callback: rebuild one
+// block's simplified, compacted complex from source data. The compute
+// stage is deterministic, so the result is identical to the complex the
+// block originally produced. The re-read and recompute costs are
+// charged to the calling rank's virtual clock.
+func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposition,
+	report *fault.Report) func(bid int) (*mscomplex.Complex, error) {
+
+	return func(bid int) (*mscomplex.Complex, error) {
+		b := dec.Blocks[bid]
+		var vol *grid.Volume
+		if p.Source != nil {
+			v, err := p.Source(b)
+			if err != nil {
+				return nil, err
+			}
+			vol = v
+		} else {
+			v, retries, err := pario.ReadBlockVolumeStats(c.FS(), p.File, p.Dims, p.DType, b)
+			report.IORetries += retries
+			if err != nil {
+				return nil, err
+			}
+			// An independent (non-collective) re-read: this rank alone
+			// pays the transfer time.
+			nbytes := pario.BlockBytes(p.DType, b)
+			r.Elapse(float64(r.Machine().IOTime(nbytes, nbytes)))
+			vol = v
+		}
+		cc := cube.New(p.Dims, b, vol)
+		field := gradient.Compute(cc, dec)
+		ms := mscomplex.FromField(field, dec, p.Trace).Complex
+		ms.Simplify(mscomplex.SimplifyOptions{Threshold: p.Persistence})
+		compacted := ms.Compact()
+		w := field.Work
+		w.Add(compacted.Work)
+		r.Compute(w)
+		return compacted, nil
+	}
+}
+
 // writeOutput performs the collective write of surviving blocks plus the
 // footer, and returns the file size and index (index only on rank 0).
+// A surviving block missing from complexes (lost to a crash at the
+// write checkpoint) is rebuilt through mopts before serialization.
 func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
-	sched merge.Schedule, complexes map[int]*mscomplex.Complex) (int64, []pario.IndexEntry, error) {
+	sched merge.Schedule, complexes map[int]*mscomplex.Complex, mopts merge.Options) (int64, []pario.IndexEntry, error) {
 
 	survivors := sched.Survivors(nblocks)
 	maxPerRank := 0
@@ -300,12 +443,21 @@ func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 	for _, bid := range mine {
 		ms, ok := complexes[bid]
 		if !ok {
-			return 0, nil, fmt.Errorf("pipeline: rank %d missing surviving block %d", r.ID(), bid)
+			if mopts.Recompute == nil {
+				return 0, nil, fmt.Errorf("pipeline: rank %d missing surviving block %d", r.ID(), bid)
+			}
+			rebuilt, err := merge.Rebuild(r, sched, nblocks, bid, len(sched.Radices), mopts)
+			if err != nil {
+				return 0, nil, fmt.Errorf("pipeline: rebuild surviving block %d: %w", bid, err)
+			}
+			ms = rebuilt
+			complexes[bid] = ms
 		}
 		payload := ms.Serialize()
 		payloads[bid] = payload
 		sizeMsg = appendU64(sizeMsg, uint64(bid))
 		sizeMsg = appendU64(sizeMsg, uint64(len(payload)))
+		sizeMsg = appendU64(sizeMsg, uint64(mpsim.Checksum(payload)))
 		sizeMsg = appendU64(sizeMsg, uint64(len(ms.Region)))
 		for _, rb := range ms.Region {
 			sizeMsg = appendU64(sizeMsg, uint64(rb))
@@ -318,13 +470,15 @@ func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 	var entries []pario.IndexEntry
 	if r.ID() == 0 {
 		sizes := make(map[int]int64, len(survivors))
+		crcs := make(map[int]uint32, len(survivors))
 		regions := make(map[int][]int32, len(survivors))
 		for _, msg := range gathered {
-			for o := 0; o+24 <= len(msg); {
+			for o := 0; o+32 <= len(msg); {
 				bid := int(u64At(msg, o))
 				sizes[bid] = int64(u64At(msg, o+8))
-				nRegion := int(u64At(msg, o+16))
-				o += 24
+				crcs[bid] = uint32(u64At(msg, o+16))
+				nRegion := int(u64At(msg, o+24))
+				o += 32
 				reg := make([]int32, nRegion)
 				for j := 0; j < nRegion; j++ {
 					reg[j] = int32(u64At(msg, o))
@@ -340,7 +494,7 @@ func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 				return 0, nil, fmt.Errorf("pipeline: no size reported for block %d", bid)
 			}
 			entries = append(entries, pario.IndexEntry{
-				BlockID: int32(bid), Offset: off, Size: sz, Region: regions[bid],
+				BlockID: int32(bid), Offset: off, Size: sz, CRC: crcs[bid], Region: regions[bid],
 			})
 			offerMsg = appendU64(offerMsg, uint64(bid))
 			offerMsg = appendU64(offerMsg, uint64(off))

@@ -26,8 +26,10 @@ package parms
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"parms/internal/analysis"
+	"parms/internal/fault"
 	"parms/internal/grid"
 	"parms/internal/merge"
 	"parms/internal/mpsim"
@@ -64,7 +66,18 @@ type (
 	Subgraph = analysis.Subgraph
 	// ArcFilter selects arcs during feature extraction.
 	ArcFilter = analysis.ArcFilter
+	// FaultPlan is a seeded, deterministic fault-injection schedule:
+	// rank crashes at pipeline stages, dropped/duplicated/delayed/
+	// corrupted point-to-point messages, and transient or permanent
+	// filesystem failures.
+	FaultPlan = fault.Plan
+	// FaultReport tallies the fault events a run observed and survived.
+	FaultReport = fault.Report
 )
+
+// NewFaultPlan creates an empty fault plan; all injection draws are
+// derived from the seed, so equal plans reproduce equal runs.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
 
 // Sample formats supported by the raw-volume reader (section IV-B).
 const (
@@ -125,6 +138,18 @@ type Options struct {
 	// Measured switches compute timing from the cost model to real
 	// wall-clock time.
 	Measured bool
+	// Faults injects the given fault plan into the run. The pipeline
+	// then runs fault-tolerantly: merge receives are bounded, corrupted
+	// payloads are rejected by checksum, and lost blocks are recovered
+	// by deterministic recomputation (see Result.FaultReport).
+	Faults *FaultPlan
+	// MergeTimeout overrides the per-member merge receive budget in
+	// virtual seconds (default 1s when Faults is set). Setting it
+	// without Faults also enables the fault-tolerant merge path.
+	MergeTimeout float64
+	// RecvGrace bounds the real (wall-clock) time a timed-out receive
+	// may wait for a message that never arrives (default 2s).
+	RecvGrace time.Duration
 }
 
 // Result is the outcome of a parallel computation.
@@ -147,6 +172,9 @@ type Result struct {
 	BytesSent int64
 	// Complexes holds the surviving complexes keyed by root block id.
 	Complexes map[int]*Complex
+	// FaultReport tallies the fault events observed across ranks
+	// (zero-valued in a fault-free run).
+	FaultReport FaultReport
 }
 
 // Merged returns the single output complex of a fully merged run, or
@@ -187,6 +215,8 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,
 		MaxParallel: opt.MaxParallel,
+		Faults:      opt.Faults,
+		RecvGrace:   opt.RecvGrace,
 	})
 	if err != nil {
 		return nil, err
@@ -202,6 +232,7 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		Persistence:   float32(opt.Persistence * float64(hi-lo)),
 		KeepComplexes: true,
 		Measured:      opt.Measured,
+		MergeTimeout:  opt.MergeTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -217,6 +248,7 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		Arcs:         res.Arcs,
 		BytesSent:    res.BytesSent,
 		Complexes:    res.Complexes,
+		FaultReport:  res.FaultReport,
 	}
 	return out, nil
 }
@@ -245,6 +277,8 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,
 		MaxParallel: opt.MaxParallel,
+		Faults:      opt.Faults,
+		RecvGrace:   opt.RecvGrace,
 	})
 	if err != nil {
 		return nil, err
@@ -257,6 +291,7 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		Persistence:   float32(opt.Persistence * float64(rangeHi-rangeLo)),
 		KeepComplexes: true,
 		Measured:      opt.Measured,
+		MergeTimeout:  opt.MergeTimeout,
 		Source: func(b grid.Block) (*Volume, error) {
 			return source(b.Lo, b.Hi), nil
 		},
@@ -275,6 +310,7 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		Arcs:         res.Arcs,
 		BytesSent:    res.BytesSent,
 		Complexes:    res.Complexes,
+		FaultReport:  res.FaultReport,
 	}, nil
 }
 

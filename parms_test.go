@@ -1,6 +1,9 @@
 package parms
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestPublicComputeMatchesSerial(t *testing.T) {
 	vol := Sinusoid(17, 2)
@@ -142,5 +145,40 @@ func TestMultiResolutionPublic(t *testing.T) {
 	}
 	if len(Diagram(ms, vol.Dims)) != max {
 		t.Fatalf("diagram has %d pairs, want %d", len(Diagram(ms, vol.Dims)), max)
+	}
+}
+
+func TestChaosPublicFaultInjection(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	clean, err := Compute(vol, Options{Procs: 8, FullMerge: true, Persistence: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(1).
+		CrashRank(2, "compute").
+		CorruptMessage(3, 0, 1).
+		FailWrite("volume.raw.msc", 1)
+	res, err := Compute(vol, Options{
+		Procs: 8, FullMerge: true, Persistence: 0.15,
+		Faults: plan, RecvGrace: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if !rep.Faulty() {
+		t.Fatal("fault report empty under injection")
+	}
+	if rep.RankCrashes != 1 || rep.Corruptions != 1 || rep.IORetries < 1 {
+		t.Errorf("report %v; want 1 crash, 1 corruption, >=1 I/O retry", &rep)
+	}
+	if len(rep.RecoveredBlocks) != len(rep.LostBlocks) || len(rep.LostBlocks) == 0 {
+		t.Errorf("lost %v recovered %v", rep.LostBlocks, rep.RecoveredBlocks)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("faulty nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+	if res.Merged() == nil {
+		t.Fatal("no merged complex after recovery")
 	}
 }
