@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos fuzz vet bench clean
+.PHONY: all build test race chaos fuzz vet trace bench microbench clean
 
 all: vet build test
 
@@ -28,7 +28,23 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
+# One small traced pipeline run: generate a sinusoid volume, run msc
+# with tracing and metrics on 16 ranks, then validate the trace JSON
+# (well-formed, monotonic timestamps per track). Artifacts: trace.json,
+# metrics.prom.
+trace:
+	$(GO) run ./cmd/mkdata -kind sinusoid -n 33 -features 4 -o /tmp/parms-trace.raw
+	$(GO) run ./cmd/msc -in /tmp/parms-trace.raw -dims 33x33x33 -procs 16 -merge full \
+		-trace trace.json -metrics metrics.prom -out /tmp/parms-trace.msc
+	$(GO) run ./cmd/tracecheck trace.json
+
+# Traced strong-scaling sweep; writes a BENCH_<timestamp>.json snapshot
+# with per-stage times, imbalance ratios, and communication volumes.
 bench:
+	$(GO) run ./cmd/msbench -exp bench
+
+# The paper-evaluation drivers as Go microbenchmarks.
+microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 clean:

@@ -7,11 +7,14 @@
 //
 //	msbench -exp table1|table2|fig4|fig5|fig6|fig7|fig9|fig10|all [flags]
 //
-// Beyond the paper's evaluation, three extension studies are available:
+// Beyond the paper's evaluation, extension studies are available:
 // "balance" (multiple blocks per process on a skewed workload),
 // "speedup" (real measured shared-memory scaling on this host),
 // "globalsimplify" (the future-work global persistence simplification),
-// and "mapping" (torus rank-placement sensitivity of the merge stage).
+// "mapping" (torus rank-placement sensitivity of the merge stage), and
+// "bench" (a traced strong-scaling sweep that also writes a
+// BENCH_<timestamp>.json snapshot with per-stage times, imbalance
+// ratios, and communication volumes for trend tracking).
 //
 // Flags:
 //
@@ -19,6 +22,8 @@
 //	             sizes need roughly 8 and hours of runtime)
 //	-maxprocs N  cap the largest rank count of scaling sweeps
 //	-parallel N  bound host goroutine concurrency (default NumCPU)
+//	-json FILE   where "bench" writes its JSON snapshot
+//	             (default BENCH_<timestamp>.json)
 //	-q           quiet progress output
 package main
 
@@ -34,10 +39,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig9, fig10, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig9, fig10, balance, speedup, globalsimplify, mapping, bench, all")
 	scale := flag.Float64("scale", 1.0, "dataset extent multiplier")
 	maxProcs := flag.Int("maxprocs", 0, "cap on rank counts in scaling sweeps (0 = experiment default)")
 	parallel := flag.Int("parallel", 0, "host goroutine concurrency bound (0 = NumCPU)")
+	jsonOut := flag.String("json", "", `where "bench" writes its JSON snapshot (default BENCH_<timestamp>.json)`)
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -63,9 +69,10 @@ func main() {
 		"speedup":        func() error { return show(experiments.Speedup(cfg)) },
 		"globalsimplify": func() error { return show(experiments.GlobalSimplify(cfg)) },
 		"mapping":        func() error { return show(experiments.Mapping(cfg)) },
+		"bench":          func() error { return runBench(cfg, *jsonOut) },
 	}
 	order := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
-		"balance", "speedup", "globalsimplify", "mapping"}
+		"balance", "speedup", "globalsimplify", "mapping", "bench"}
 
 	var selected []string
 	if *exp == "all" {
@@ -88,6 +95,31 @@ func main() {
 		}
 		fmt.Printf("[%s finished in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
 	}
+}
+
+// runBench runs the traced scaling sweep and writes its JSON snapshot.
+func runBench(cfg experiments.Config, path string) error {
+	res, err := experiments.Bench(cfg)
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // printable is any experiment result that renders itself as a table.

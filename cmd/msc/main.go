@@ -10,6 +10,12 @@
 //
 // The -merge flag takes "none", "full", a round count like "2" (that
 // many radix-8 rounds), or an explicit schedule like "4,8,8".
+//
+// Observability: -trace out.json writes a Chrome/Perfetto trace of the
+// run (one track per rank, virtual-time spans for every stage, fault
+// events as instants) and prints a per-stage summary table; -metrics
+// out.prom writes a Prometheus-style text dump of the run's counters,
+// gauges and histograms.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"parms/internal/grid"
 	"parms/internal/merge"
 	"parms/internal/mpsim"
+	"parms/internal/obs"
 	"parms/internal/pipeline"
 )
 
@@ -36,6 +43,8 @@ func main() {
 	out := flag.String("out", "", "output file (default <in>.msc)")
 	parallel := flag.Int("parallel", 0, "host goroutine bound (0 = unbounded)")
 	measured := flag.Bool("measured", false, "report real wall-clock compute times instead of modeled Blue Gene/P times")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run")
+	metricsOut := flag.String("metrics", "", "write a Prometheus-style text dump of the run's metrics")
 	flag.Parse()
 
 	if *in == "" || *dimsFlag == "" {
@@ -63,7 +72,11 @@ func main() {
 		outFile = *in + ".msc"
 	}
 
-	cluster, err := mpsim.New(mpsim.Config{Procs: *procs, MaxParallel: *parallel})
+	var ob *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		ob = obs.New(*procs)
+	}
+	cluster, err := mpsim.New(mpsim.Config{Procs: *procs, MaxParallel: *parallel, Obs: ob})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -115,6 +128,31 @@ func main() {
 	for i, round := range res.Rounds {
 		fmt.Printf("  round %d  radix %d  %.3fs  %d blocks remain\n",
 			i+1, round.Radix, round.Seconds, round.Blocks)
+	}
+
+	if *traceOut != "" {
+		writeFile(*traceOut, func(f *os.File) error { return res.Trace.WriteChromeTrace(f) })
+		fmt.Printf("trace      %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		fmt.Println()
+		obs.WriteStageStats(os.Stdout, res.Trace.StageStats(pipeline.StageSpanNames...))
+	}
+	if *metricsOut != "" {
+		writeFile(*metricsOut, func(f *os.File) error { return res.Metrics.WritePrometheus(f) })
+		fmt.Printf("metrics    %s\n", *metricsOut)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command tracecheck validates a Chrome trace-event JSON file as
+// emitted by msc -trace or Tracer.WriteChromeTrace: the file must be
+// well-formed JSON with a traceEvents array, every event needs a known
+// phase and a non-negative timestamp, durations must be non-negative,
+// and complete ("X") event timestamps must be monotonically
+// non-decreasing within each (pid, tid) track. It prints a per-track
+// summary and exits nonzero on any violation, so CI can gate on it.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+type trackKey struct{ pid, tid int }
+
+type trackInfo struct {
+	spans, instants int
+	lastTs          float64
+	minTs, maxEnd   float64
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if tf.TraceEvents == nil {
+		fail("%s: no traceEvents array", os.Args[1])
+	}
+
+	tracks := make(map[trackKey]*trackInfo)
+	violations := 0
+	complain := func(i int, ev traceEvent, format string, args ...interface{}) {
+		violations++
+		fmt.Fprintf(os.Stderr, "tracecheck: event %d (%s %q pid=%d tid=%d): %s\n",
+			i, ev.Ph, ev.Name, ev.Pid, ev.Tid, fmt.Sprintf(format, args...))
+	}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M": // metadata carries no timestamp
+			continue
+		case "X", "i":
+		default:
+			complain(i, ev, "unknown phase %q", ev.Ph)
+			continue
+		}
+		if ev.Ts == nil {
+			complain(i, ev, "missing ts")
+			continue
+		}
+		if *ev.Ts < 0 {
+			complain(i, ev, "negative ts %g", *ev.Ts)
+		}
+		key := trackKey{ev.Pid, ev.Tid}
+		tr := tracks[key]
+		if tr == nil {
+			tr = &trackInfo{lastTs: -1, minTs: *ev.Ts}
+			tracks[key] = tr
+		}
+		if *ev.Ts < tr.minTs {
+			tr.minTs = *ev.Ts
+		}
+		end := *ev.Ts
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				complain(i, ev, "complete event missing dur")
+				continue
+			}
+			if *ev.Dur < 0 {
+				complain(i, ev, "negative dur %g", *ev.Dur)
+			}
+			if *ev.Ts < tr.lastTs {
+				complain(i, ev, "ts %g goes backwards (previous span started at %g)", *ev.Ts, tr.lastTs)
+			}
+			tr.lastTs = *ev.Ts
+			tr.spans++
+			end += *ev.Dur
+		case "i":
+			tr.instants++
+		}
+		if end > tr.maxEnd {
+			tr.maxEnd = end
+		}
+	}
+
+	keys := make([]trackKey, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	fmt.Printf("%s: %d events, %d tracks\n", os.Args[1], len(tf.TraceEvents), len(tracks))
+	for _, k := range keys {
+		tr := tracks[k]
+		fmt.Printf("  pid %d tid %d: %d spans, %d instants, [%.3f, %.3f] us\n",
+			k.pid, k.tid, tr.spans, tr.instants, tr.minTs, tr.maxEnd)
+	}
+	if violations > 0 {
+		fail("%d violation(s)", violations)
+	}
+	fmt.Println("ok")
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"parms/internal/mpsim"
+	"parms/internal/obs"
+	"parms/internal/pario"
+	"parms/internal/pipeline"
+	"parms/internal/synth"
+)
+
+// BenchRun is one traced pipeline execution of the benchmark sweep:
+// modeled stage times, per-stage load imbalance (max/mean across
+// ranks, from the span trace), and the communication volume observed
+// by the metrics registry.
+type BenchRun struct {
+	Procs  int    `json:"procs"`
+	Blocks int    `json:"blocks"`
+	Dims   [3]int `json:"dims"`
+
+	ReadSeconds    float64 `json:"read_seconds"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	MergeSeconds   float64 `json:"merge_seconds"`
+	WriteSeconds   float64 `json:"write_seconds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+
+	// Imbalance maps stage name to max/mean rank duration (1.0 =
+	// perfectly balanced).
+	Imbalance map[string]float64 `json:"imbalance"`
+
+	PeakPayloadBytes int64   `json:"peak_payload_bytes"`
+	BytesSent        int64   `json:"bytes_sent"`
+	BytesRecv        int64   `json:"bytes_recv"`
+	Nodes            [4]int  `json:"nodes"`
+	Arcs             int     `json:"arcs"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// BenchResult is the full sweep, JSON-serializable for trend tracking.
+type BenchResult struct {
+	Dataset   string     `json:"dataset"`
+	Scale     float64    `json:"scale"`
+	CreatedAt string     `json:"created_at"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// Bench runs a traced strong-scaling sweep (sinusoid dataset, full
+// merge, 1% persistence) over procs = 8..64 doubling, capped by
+// cfg.MaxProcs, with observability enabled so each run reports stage
+// imbalance and peak merge payload alongside the modeled times.
+func Bench(cfg Config) (*BenchResult, error) {
+	n := cfg.dim(64)
+	vol := synth.Sinusoid(n, 6)
+	maxP := cfg.MaxProcs
+	if maxP <= 0 {
+		maxP = 64
+	}
+	out := &BenchResult{
+		Dataset:   fmt.Sprintf("sinusoid n=%d", n),
+		Scale:     cfg.scale(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	lo, hi := vol.Range()
+	for _, procs := range pow2Sweep(8, maxP) {
+		cfg.logf("bench: procs=%d\n", procs)
+		ob := obs.New(procs)
+		cluster, err := mpsim.New(mpsim.Config{Procs: procs, MaxParallel: cfg.maxParallel(), Obs: ob})
+		if err != nil {
+			return nil, err
+		}
+		pario.WriteVolume(cluster.FS(), "volume.raw", vol)
+		start := time.Now()
+		res, err := pipeline.Run(cluster, pipeline.Params{
+			File:        "volume.raw",
+			Dims:        vol.Dims,
+			DType:       vol.DType,
+			Blocks:      procs,
+			Radices:     fullRadices(procs),
+			Persistence: float32(0.01 * float64(hi-lo)),
+			OutFile:     "bench.msc",
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		imb := make(map[string]float64)
+		for _, st := range res.Trace.StageStats("read", "compute", "merge", "write") {
+			imb[st.Name] = st.Imbalance
+		}
+		reg := res.Metrics
+		out.Runs = append(out.Runs, BenchRun{
+			Procs:            procs,
+			Blocks:           res.Blocks,
+			Dims:             [3]int(vol.Dims),
+			ReadSeconds:      res.Times.Read,
+			ComputeSeconds:   res.Times.Compute,
+			MergeSeconds:     res.Times.Merge,
+			WriteSeconds:     res.Times.Write,
+			TotalSeconds:     res.Times.Total,
+			Imbalance:        imb,
+			PeakPayloadBytes: int64(reg.GaugeValue("merge_payload_peak_bytes")),
+			BytesSent:        reg.CounterValue("mpsim_bytes_sent_total"),
+			BytesRecv:        reg.CounterValue("mpsim_bytes_recv_total"),
+			Nodes:            res.Nodes,
+			Arcs:             res.Arcs,
+			WallSeconds:      wall,
+		})
+	}
+	return out, nil
+}
+
+// Print renders the sweep as an aligned table.
+func (b *BenchResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Benchmark sweep: %s, full merge, 1%% persistence\n", b.Dataset)
+	header := []string{"procs", "read s", "compute s", "merge s", "write s", "total s",
+		"imb compute", "imb merge", "peak payload B", "sent B", "recv B", "wall s"}
+	rows := make([][]string, 0, len(b.Runs))
+	for _, r := range b.Runs {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Procs),
+			fmt.Sprintf("%.4f", r.ReadSeconds),
+			fmt.Sprintf("%.4f", r.ComputeSeconds),
+			fmt.Sprintf("%.4f", r.MergeSeconds),
+			fmt.Sprintf("%.4f", r.WriteSeconds),
+			fmt.Sprintf("%.4f", r.TotalSeconds),
+			fmt.Sprintf("%.2f", r.Imbalance["compute"]),
+			fmt.Sprintf("%.2f", r.Imbalance["merge"]),
+			fmt.Sprint(r.PeakPayloadBytes),
+			fmt.Sprint(r.BytesSent),
+			fmt.Sprint(r.BytesRecv),
+			fmt.Sprintf("%.1f", r.WallSeconds),
+		})
+	}
+	table(w, header, rows)
+}
+
+// WriteJSON writes the sweep as indented JSON.
+func (b *BenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -7,6 +7,7 @@ import (
 	"parms/internal/grid"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
+	"parms/internal/obs"
 	"parms/internal/vtime"
 )
 
@@ -64,10 +65,16 @@ type Options struct {
 // so the surviving complex matches the fault-free run.
 func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*mscomplex.Complex, opts Options) ([]RoundStats, error) {
 	procs := r.Size()
+	tr := r.Tracer()
+	reg := r.Metrics()
+	payloadHist := reg.Histogram("merge_payload_bytes")
+	payloadPeak := reg.Gauge("merge_payload_peak_bytes")
 	stats := make([]RoundStats, 0, len(sched.Radices))
 	for round := range sched.Radices {
 		startT := r.AllreduceMaxTime()
+		roundStart := r.Clock()
 		startBytes := float64(r.BytesSent())
+		startSent, startRecv := r.BytesSent(), r.BytesRecv()
 		if r.Checkpoint(fmt.Sprintf("merge:%d", round)) {
 			// Crash-restart: every complex this rank held is gone. Roots
 			// are rebuilt below; member payloads simply never get sent,
@@ -100,9 +107,14 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					// timeout path recover the subtree.
 					continue
 				}
+				serStart := r.Clock()
 				payload := mpsim.Frame(ms.Serialize())
 				w := vtime.Work{BytesCoded: int64(len(payload))}
 				r.Compute(w)
+				tr.Span("serialize", serStart, r.Clock(),
+					obs.I("block", int64(m)), obs.I("bytes", int64(len(payload))))
+				payloadHist.Observe(int64(len(payload)))
+				payloadPeak.SetMax(float64(len(payload)))
 				// A same-rank transfer still goes through the mailbox
 				// (no network hops in the model, only a local copy).
 				r.Send(rootRank, tagMergeBase+round*16+(m-g.Root)/stride, payload)
@@ -147,6 +159,8 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 						if opts.Report != nil {
 							opts.Report.Timeouts++
 						}
+						tr.Instant("fault:timeout", r.Clock(), obs.I("block", int64(m)),
+							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
 						missing = append(missing, m)
 						continue
 					}
@@ -161,18 +175,29 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					if opts.Report != nil {
 						opts.Report.Corruptions++
 					}
+					tr.Instant("fault:corrupt", r.Clock(), obs.I("block", int64(m)),
+						obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
 					missing = append(missing, m)
 					continue
 				}
+				glueStart := r.Clock()
 				r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
 				workBefore := root.Work
 				root.Glue(other)
 				r.Compute(workDelta(root.Work, workBefore))
+				tr.Span("glue", glueStart, r.Clock(),
+					obs.I("block", int64(m)), obs.I("bytes", int64(len(payload))))
 			}
+			simpStart := r.Clock()
 			workBefore := root.Work
 			root.Simplify(mscomplex.SimplifyOptions{Threshold: opts.Threshold})
 			compacted := root.Compact() // carries root.Work plus its own ops
 			r.Compute(workDelta(compacted.Work, workBefore))
+			if tr.Enabled() {
+				n, a := compacted.AliveCounts()
+				tr.Span("simplify", simpStart, r.Clock(), obs.I("root", int64(g.Root)),
+					obs.I("nodes", int64(n[0]+n[1]+n[2]+n[3])), obs.I("arcs", int64(a)))
+			}
 
 			// Recovery: rebuild each excluded member's subtree and glue
 			// it in before the next round. Excluded subtrees stayed
@@ -194,13 +219,28 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 			complexes[g.Root] = compacted
 		}
 
+		roundEnd := r.Clock()
+		sentDelta, recvDelta := r.BytesSent()-startSent, r.BytesRecv()-startRecv
 		endT := r.AllreduceMaxTime()
 		bytes := r.AllreduceFloat64(float64(r.BytesSent())-startBytes, "sum")
+		blocksLeft := (nblocks + sched.Stride(round+1) - 1) / sched.Stride(round+1)
+		if tr.Enabled() {
+			tr.Span(fmt.Sprintf("round:%d", round), roundStart, roundEnd,
+				obs.I("radix", int64(sched.Radices[round])),
+				obs.I("blocks_after", int64(blocksLeft)),
+				obs.I("sent_bytes", sentDelta),
+				obs.I("recv_bytes", recvDelta))
+		}
+		if reg != nil {
+			k := fmt.Sprint(round)
+			reg.Counter(obs.Label("merge_round_bytes_sent_total", "round", k)).Add(sentDelta)
+			reg.Counter(obs.Label("merge_round_bytes_recv_total", "round", k)).Add(recvDelta)
+		}
 		stats = append(stats, RoundStats{
 			Radix:     sched.Radices[round],
 			Seconds:   endT - startT,
 			BytesSent: bytes,
-			Blocks:    (nblocks + sched.Stride(round+1) - 1) / sched.Stride(round+1),
+			Blocks:    blocksLeft,
 		})
 	}
 	return stats, nil
@@ -229,6 +269,7 @@ func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Opti
 	if opts.Recompute == nil {
 		return nil, fmt.Errorf("merge: no recompute callback")
 	}
+	rebuildStart := r.Clock()
 	span := sched.Stride(round)
 	end := block + span
 	if end > nblocks {
@@ -270,6 +311,16 @@ func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Opti
 			r.Compute(workDelta(compacted.Work, workBefore))
 			local[g.Root] = compacted
 		}
+	}
+	// Recovery cost is first-class in the trace: one span on the
+	// rebuilding rank, plus the recompute budget counters the
+	// fault-aware-scheduling work (ROADMAP) will optimize against.
+	r.Tracer().Span("rebuild", rebuildStart, r.Clock(),
+		obs.I("block", int64(block)), obs.I("round", int64(round)),
+		obs.I("subtree", int64(span)))
+	if reg := r.Metrics(); reg != nil {
+		reg.Counter("merge_recomputes_total").Add(1)
+		reg.Gauge("merge_recompute_seconds_total").Add(float64(r.Clock() - rebuildStart))
 	}
 	return local[block], nil
 }

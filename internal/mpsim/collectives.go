@@ -89,13 +89,19 @@ func (r *Rank) AllreduceMaxTime() float64 {
 
 // Gather collects each rank's data at the root. The returned slice has
 // Size() elements indexed by rank on the root and is nil elsewhere.
-// Payloads may have different lengths (MPI_Gatherv).
+// Payloads may have different lengths (MPI_Gatherv). The root receives
+// in rank order, not arrival order: each receive advances the clock by
+// max(clock, arrival) plus a fixed overhead, so an arrival-ordered
+// fold would make the root's virtual time depend on host scheduling.
 func (r *Rank) Gather(root int, data []byte) [][]byte {
 	if r.id == root {
 		out := make([][]byte, r.Size())
 		out[root] = data
-		for i := 0; i < r.Size()-1; i++ {
-			payload, src := r.Recv(AnySource, tagGather)
+		for src := 0; src < r.Size(); src++ {
+			if src == root {
+				continue
+			}
+			payload, _ := r.Recv(src, tagGather)
 			out[src] = payload
 		}
 		return out

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"parms/internal/fault"
+	"parms/internal/obs"
 	"parms/internal/vtime"
 )
 
@@ -178,6 +179,8 @@ func (r *Rank) retryIO(op func() error) error {
 			return err
 		}
 		r.ioRetries++
+		r.cluster.metrics.ioRetries.Add(1)
+		r.tr.Instant("fault:io_retry", r.clock.Now(), obs.I("attempt", int64(attempt+1)))
 		r.clock.Advance(vtime.Time(backoff))
 		backoff *= 2
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"parms/internal/fault"
+	"parms/internal/obs"
 	"parms/internal/torus"
 	"parms/internal/vtime"
 )
@@ -56,6 +57,11 @@ type Config struct {
 	// judged purely by their virtual arrival stamp, so the grace only
 	// matters for messages that genuinely never arrive.
 	RecvGrace time.Duration
+	// Obs attaches an observability sink: a per-rank span tracer keyed
+	// to virtual time plus a metrics registry (package obs). nil — the
+	// default — disables all instrumentation; every hook then costs one
+	// nil check, so the fault-free fast path is unaffected.
+	Obs *obs.Observer
 }
 
 // Cluster is a virtual distributed-memory machine.
@@ -69,6 +75,10 @@ type Cluster struct {
 	placement []int // nil = identity
 	grace     time.Duration
 
+	// metrics holds the substrate's pre-resolved instruments; all nil
+	// (and every update a no-op) when Config.Obs carries no registry.
+	metrics clusterMetrics
+
 	// aborted is set when any rank's body fails, so that ranks blocked
 	// in receives unwind instead of waiting forever for messages their
 	// dead peer will never send (the MPI_Abort semantics).
@@ -80,6 +90,36 @@ type Cluster struct {
 // abortMessage is the panic value blocked receives raise when the
 // cluster aborts; safeBody converts it into a per-rank error.
 const abortMessage = "cluster aborted: a peer rank failed"
+
+// clusterMetrics pre-resolves the substrate's registry instruments once
+// per cluster, so the per-message path never takes the registry lock.
+// The zero value (all nil) is the disabled state.
+type clusterMetrics struct {
+	bytesSent    *obs.Counter
+	msgsSent     *obs.Counter
+	bytesRecv    *obs.Counter
+	msgsRecv     *obs.Counter
+	msgBytes     *obs.Histogram
+	ioRetries    *obs.Counter
+	recvTimeouts *obs.Counter
+	crashes      *obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry) clusterMetrics {
+	if reg == nil {
+		return clusterMetrics{}
+	}
+	return clusterMetrics{
+		bytesSent:    reg.Counter("mpsim_bytes_sent_total"),
+		msgsSent:     reg.Counter("mpsim_messages_sent_total"),
+		bytesRecv:    reg.Counter("mpsim_bytes_recv_total"),
+		msgsRecv:     reg.Counter("mpsim_messages_recv_total"),
+		msgBytes:     reg.Histogram("mpsim_message_bytes"),
+		ioRetries:    reg.Counter("mpsim_io_retries_total"),
+		recvTimeouts: reg.Counter("mpsim_recv_timeouts_total"),
+		crashes:      reg.Counter("mpsim_rank_crashes_total"),
+	}
+}
 
 // abort wakes every rank blocked in a receive. Locking each mailbox
 // before broadcasting guarantees no waiter can miss the wakeup between
@@ -122,6 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 		grace:     grace,
 	}
 	c.fs.faults = cfg.Faults
+	c.metrics = newClusterMetrics(cfg.Obs.Registry())
 	c.mailboxes = make([]*mailbox, cfg.Procs)
 	for i := range c.mailboxes {
 		c.mailboxes[i] = newMailbox(&c.aborted)
@@ -155,6 +196,9 @@ func (c *Cluster) node(rank int) int {
 // Faults returns the fault plan the cluster injects, or nil.
 func (c *Cluster) Faults() *fault.Plan { return c.cfg.Faults }
 
+// Obs returns the observability sink attached to the cluster, or nil.
+func (c *Cluster) Obs() *obs.Observer { return c.cfg.Obs }
+
 // Run executes body once per rank, concurrently, and blocks until every
 // rank returns. It returns the per-rank final clocks and all rank errors
 // joined (errors.Join), so a chaos run reports every failing rank, not
@@ -172,7 +216,7 @@ func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			r := &Rank{id: id, cluster: c}
+			r := &Rank{id: id, cluster: c, tr: c.cfg.Obs.Rank(id)}
 			// The gate bounds *host* parallelism. A rank must release
 			// it while blocked in Recv, otherwise held gate slots could
 			// starve the sender it is waiting for; acquire/release is
@@ -181,6 +225,10 @@ func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
 			defer r.release()
 			errs[id] = safeBody(body, r)
 			if errs[id] != nil {
+				// The traffic tally localizes the failure: a rank that
+				// died mid-merge shows the sends/receives it completed.
+				errs[id] = fmt.Errorf("rank %d (sent %d msgs/%d B, recv %d msgs/%d B): %w",
+					id, r.msgsSent, r.bytesSent, r.msgsRecv, r.bytesRecv, errs[id])
 				// A failed rank will never send again: release any peer
 				// blocked waiting on it rather than deadlocking the run.
 				c.abort()
@@ -189,11 +237,6 @@ func (c *Cluster) Run(body func(r *Rank) error) ([]vtime.Time, error) {
 		}(i)
 	}
 	wg.Wait()
-	for id, err := range errs {
-		if err != nil {
-			errs[id] = fmt.Errorf("rank %d: %w", id, err)
-		}
-	}
 	return clocks, errors.Join(errs...)
 }
 
@@ -212,9 +255,12 @@ type Rank struct {
 	id      int
 	cluster *Cluster
 	clock   vtime.Clock
+	tr      *obs.RankTracer // nil when observability is off
 
 	bytesSent int64
 	msgsSent  int64
+	bytesRecv int64
+	msgsRecv  int64
 	ioRetries int64
 	failed    bool
 }
@@ -237,6 +283,22 @@ func (r *Rank) BytesSent() int64 { return r.bytesSent }
 // MessagesSent returns the number of point-to-point sends issued.
 func (r *Rank) MessagesSent() int64 { return r.msgsSent }
 
+// BytesRecv returns the total payload bytes this rank has received.
+func (r *Rank) BytesRecv() int64 { return r.bytesRecv }
+
+// MessagesRecv returns the number of point-to-point receives completed.
+func (r *Rank) MessagesRecv() int64 { return r.msgsRecv }
+
+// Tracer returns this rank's span track, nil when observability is off.
+// All methods of a nil *obs.RankTracer are no-ops, so callers may
+// instrument unconditionally (but should gate attribute computation on
+// Tracer().Enabled()).
+func (r *Rank) Tracer() *obs.RankTracer { return r.tr }
+
+// Metrics returns the cluster's metrics registry, nil when
+// observability is off.
+func (r *Rank) Metrics() *obs.Registry { return r.cluster.cfg.Obs.Registry() }
+
 // IORetries returns the number of filesystem operations this rank has
 // retried after transient errors.
 func (r *Rank) IORetries() int64 { return r.ioRetries }
@@ -253,6 +315,11 @@ func (r *Rank) Checkpoint(stage string) bool {
 	}
 	r.failed = true
 	r.clock.Advance(vtime.Time(p.Penalty()))
+	// The crash is a trace instant on the dying rank's own track, at
+	// the restart-complete time, tagged with the stage that lost state.
+	r.tr.Instant("fault:crash", r.clock.Now(),
+		obs.S("stage", stage), obs.F("penalty_s", p.Penalty()))
+	r.cluster.metrics.crashes.Add(1)
 	return true
 }
 
@@ -399,6 +466,9 @@ func (r *Rank) TrySend(dst, tag int, data []byte) error {
 	arrival := r.clock.Now() + transfer
 	r.bytesSent += int64(len(data))
 	r.msgsSent++
+	r.cluster.metrics.bytesSent.Add(int64(len(data)))
+	r.cluster.metrics.msgsSent.Add(1)
+	r.cluster.metrics.msgBytes.Observe(int64(len(data)))
 	deliveries := []fault.Delivery{{Data: data}}
 	if p := r.cluster.cfg.Faults; p != nil && tag < tagBarrierUp {
 		// Collective-tag traffic is exempt: the modeled machine's
@@ -430,7 +500,16 @@ func (r *Rank) Recv(src, tag int) ([]byte, int) {
 	r.acquire()
 	r.clock.AdvanceTo(msg.arrival)
 	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
+	r.countRecv(len(msg.data))
 	return msg.data, msg.src
+}
+
+// countRecv tallies one completed point-to-point receive.
+func (r *Rank) countRecv(n int) {
+	r.bytesRecv += int64(n)
+	r.msgsRecv++
+	r.cluster.metrics.bytesRecv.Add(int64(n))
+	r.cluster.metrics.msgsRecv.Add(1)
 }
 
 // TryRecv is Recv returning an error instead of panicking on an invalid
@@ -457,10 +536,12 @@ func (r *Rank) RecvTimeout(src, tag int, timeout vtime.Time) ([]byte, int, bool)
 	r.acquire()
 	if !ok {
 		r.clock.AdvanceTo(deadline)
+		r.cluster.metrics.recvTimeouts.Add(1)
 		return nil, 0, false
 	}
 	r.clock.AdvanceTo(msg.arrival)
 	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
+	r.countRecv(len(msg.data))
 	return msg.data, msg.src, true
 }
 

@@ -120,8 +120,13 @@ func (r *Rank) Alltoall(send [][]byte) [][]byte {
 			r.Send(dst, tagA2A, payload)
 		}
 	}
-	for i := 0; i < r.Size()-1; i++ {
-		data, src := r.Recv(AnySource, tagA2A)
+	// Receive in rank order, not arrival order, so the virtual clock
+	// fold is deterministic (see Gather).
+	for src := 0; src < r.Size(); src++ {
+		if src == r.id {
+			continue
+		}
+		data, _ := r.Recv(src, tagA2A)
 		out[src] = data
 	}
 	return out

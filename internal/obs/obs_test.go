@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"parms/internal/vtime"
+)
+
+// TestNilSafety: every handle must accept calls when nil — this is the
+// contract that lets the substrate instrument unconditionally.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Rank(3) != nil || o.Registry() != nil {
+		t.Fatal("nil Observer must hand out nil handles")
+	}
+	var rt *RankTracer
+	rt.Span("x", 0, 1)
+	rt.Instant("y", 0)
+	if rt.Enabled() {
+		t.Fatal("nil RankTracer reports enabled")
+	}
+	var tr *Tracer
+	if tr.Procs() != 0 || tr.Rank(0) != nil || tr.Spans(0) != nil {
+		t.Fatal("nil Tracer leaks state")
+	}
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(1)
+	reg.Gauge("g").SetMax(2)
+	reg.Gauge("g").Add(3)
+	reg.Histogram("h").Observe(1)
+	if reg.CounterValue("c") != 0 || reg.GaugeValue("g") != 0 {
+		t.Fatal("nil Registry returned nonzero values")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("msgs_total")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	g := reg.Gauge("peak_bytes")
+	g.SetMax(10)
+	g.SetMax(4)
+	g.SetMax(17)
+	if g.Value() != 17 {
+		t.Fatalf("gauge max = %v, want 17", g.Value())
+	}
+	g2 := reg.Gauge("seconds_total")
+	g2.Add(1.5)
+	g2.Add(2.5)
+	if g2.Value() != 4 {
+		t.Fatalf("gauge add = %v, want 4", g2.Value())
+	}
+	h := reg.Histogram("payload_bytes")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1024, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 1034 {
+		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("merge_bytes_total", "round", "2"); got != `merge_bytes_total{round="2"}` {
+		t.Fatalf("Label = %s", got)
+	}
+	if got := Label("plain"); got != "plain" {
+		t.Fatalf("Label = %s", got)
+	}
+}
+
+// fill records a small deterministic two-rank trace.
+func fill(tr *Tracer) {
+	r0 := tr.Rank(0)
+	r0.Span("read", 0, 1.5, I("bytes", 4096))
+	r0.Span("compute", 1.5, 3, I("block", 0))
+	r0.Instant("fault:crash", 2, S("stage", "compute"))
+	r1 := tr.Rank(1)
+	r1.Span("read", 0, 1, I("bytes", 2048))
+	r1.Span("compute", 1, 4, I("block", 1))
+}
+
+func TestChromeTraceWellFormedAndDeterministic(t *testing.T) {
+	tr := NewTracer(2)
+	fill(tr)
+	var a, b bytes.Buffer
+	if err := tr.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same tracer differ")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 1 process_name + 2 thread_name + 4 spans + 1 instant.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(doc.TraceEvents))
+	}
+	lastTs := map[float64]float64{}
+	for _, ev := range doc.TraceEvents {
+		ph := ev["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		tid := ev["tid"].(float64)
+		ts := ev["ts"].(float64)
+		if ts < lastTs[tid] {
+			t.Fatalf("track %v not monotonic: %v after %v", tid, ts, lastTs[tid])
+		}
+		lastTs[tid] = ts
+		if ph == "X" && ev["dur"].(float64) < 0 {
+			t.Fatal("negative span duration")
+		}
+	}
+}
+
+func TestPrometheusDump(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("msgs_total").Add(3)
+	reg.Counter(Label("round_bytes_total", "round", "0")).Add(100)
+	reg.Gauge("peak").SetMax(2.5)
+	reg.Histogram("sizes").Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE msgs_total counter",
+		"msgs_total 3",
+		`round_bytes_total{round="0"} 100`,
+		"peak 2.5",
+		"# TYPE sizes histogram",
+		`sizes_bucket{le="4"} 1`,
+		`sizes_bucket{le="+Inf"} 1`,
+		"sizes_sum 3",
+		"sizes_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	var again bytes.Buffer
+	reg.WritePrometheus(&again)
+	if out != again.String() {
+		t.Fatal("two dumps of the same registry differ")
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	tr := NewTracer(4)
+	for id := 0; id < 4; id++ {
+		end := 1.0 + float64(id) // durations 1, 2, 3, 4
+		tr.Rank(id).Span("compute", 0, vtime.Time(end))
+	}
+	stats := tr.StageStats("compute", "absent")
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	c := stats[0]
+	if c.Count != 4 || c.Max != 4 || c.Mean != 2.5 || c.MaxEnd != 4 {
+		t.Fatalf("compute stat %+v", c)
+	}
+	if c.Imbalance != 4/2.5 {
+		t.Fatalf("imbalance = %v", c.Imbalance)
+	}
+	if c.P50 != 2 || c.P95 != 4 {
+		t.Fatalf("p50=%v p95=%v", c.P50, c.P95)
+	}
+	if stats[1].Count != 0 {
+		t.Fatalf("absent stage has count %d", stats[1].Count)
+	}
+	var buf bytes.Buffer
+	WriteStageStats(&buf, stats)
+	if !strings.Contains(buf.String(), "compute") || !strings.Contains(buf.String(), "absent") {
+		t.Fatalf("summary table:\n%s", buf.String())
+	}
+}
+
+func TestStageStatsDiscoversNamesInStartOrder(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Rank(0).Span("b", 1, 2)
+	tr.Rank(0).Span("a", 0, 1)
+	stats := tr.StageStats()
+	if len(stats) != 2 || stats[0].Name != "a" || stats[1].Name != "b" {
+		t.Fatalf("order: %+v", stats)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"parms/internal/fault"
 	"parms/internal/grid"
 	"parms/internal/mpsim"
+	"parms/internal/obs"
 	"parms/internal/pario"
 	"parms/internal/synth"
 )
@@ -119,6 +120,118 @@ func TestChaosSurvivesCrashDropAndCorruption(t *testing.T) {
 	n, _ := all[0].AliveCounts()
 	if n != clean.Nodes {
 		t.Errorf("output file nodes %v, fault-free %v", n, clean.Nodes)
+	}
+}
+
+// TestChaosFaultEventsAppearInTrace re-runs the headline drill with
+// tracing on and checks that every injected fault shows up as an
+// instant event on the track of the rank that observed it, inside the
+// stage span where it happened: the crash on the crashed rank's
+// compute span, the timeouts (dropped payload + crashed rank's
+// silence) and the checksum rejection on the merge-group root's merge
+// span, each carrying the block/src/round attributes.
+func TestChaosFaultEventsAppearInTrace(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: 64, Radices: []int{8, 8}, Persistence: 0.1,
+	}
+	plan := fault.NewPlan(42).
+		CrashRank(5, "compute").
+		DropMessage(3, 0, 1).
+		CorruptMessage(6, 0, 1)
+	c, err := mpsim.New(mpsim.Config{Procs: 64, Faults: plan, Obs: obs.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pario.WriteVolume(c.FS(), "vol", vol)
+	res, err := Run(c, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+
+	// span returns rank id's unique stage span with the given name.
+	span := func(id int, name string) obs.Span {
+		t.Helper()
+		for _, s := range tr.Spans(id) {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("rank %d has no %q span", id, name)
+		return obs.Span{}
+	}
+	contains := func(s obs.Span, i obs.Instant) bool {
+		return s.Start <= i.Ts && i.Ts <= s.End
+	}
+
+	// The crash: one instant on rank 5, inside its compute span.
+	var crashes []obs.Instant
+	for _, in := range tr.Instants(5) {
+		if in.Name == "fault:crash" {
+			crashes = append(crashes, in)
+		}
+	}
+	if len(crashes) != 1 {
+		t.Fatalf("rank 5 has %d fault:crash instants, want 1", len(crashes))
+	}
+	if a, ok := crashes[0].Attr("stage"); !ok || a.Str() != "compute" {
+		t.Errorf("crash instant stage attr = %v", crashes[0].Attrs)
+	}
+	if s := span(5, "compute"); !contains(s, crashes[0]) {
+		t.Errorf("crash at %v outside rank 5 compute span [%v, %v]", crashes[0].Ts, s.Start, s.End)
+	}
+
+	// The timeouts and the corruption: on the round-0 root (rank 0),
+	// inside its merge span, naming the lost blocks and their senders.
+	mergeSpan := span(0, "merge")
+	timeoutBlocks := map[int64]bool{}
+	corruptBlocks := map[int64]bool{}
+	for _, in := range tr.Instants(0) {
+		switch in.Name {
+		case "fault:timeout", "fault:corrupt":
+		default:
+			continue
+		}
+		if !contains(mergeSpan, in) {
+			t.Errorf("%s at %v outside rank 0 merge span [%v, %v]", in.Name, in.Ts, mergeSpan.Start, mergeSpan.End)
+		}
+		block, _ := in.Attr("block")
+		src, _ := in.Attr("src")
+		round, _ := in.Attr("round")
+		if src.Int() != block.Int() || round.Int() != 0 {
+			t.Errorf("%s attrs block=%d src=%d round=%d", in.Name, block.Int(), src.Int(), round.Int())
+		}
+		if in.Name == "fault:timeout" {
+			timeoutBlocks[block.Int()] = true
+		} else {
+			corruptBlocks[block.Int()] = true
+		}
+	}
+	if !timeoutBlocks[3] || !timeoutBlocks[5] || len(timeoutBlocks) != 2 {
+		t.Errorf("timeout instants for blocks %v, want {3, 5}", timeoutBlocks)
+	}
+	if !corruptBlocks[6] || len(corruptBlocks) != 1 {
+		t.Errorf("corrupt instants for blocks %v, want {6}", corruptBlocks)
+	}
+
+	// No other rank saw a fault event.
+	for id := 0; id < 64; id++ {
+		for _, in := range tr.Instants(id) {
+			if (in.Name == "fault:crash" && id != 5) ||
+				((in.Name == "fault:timeout" || in.Name == "fault:corrupt") && id != 0) {
+				t.Errorf("unexpected %s on rank %d", in.Name, id)
+			}
+		}
+	}
+
+	// The registry agrees with the fault report.
+	if got := res.Metrics.CounterValue("mpsim_rank_crashes_total"); got != 1 {
+		t.Errorf("mpsim_rank_crashes_total = %d, want 1", got)
+	}
+	if got := res.Metrics.CounterValue("mpsim_recv_timeouts_total"); got != int64(res.FaultReport.Timeouts) {
+		t.Errorf("mpsim_recv_timeouts_total = %d, report says %d", got, res.FaultReport.Timeouts)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"parms/internal/merge"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
+	"parms/internal/obs"
 	"parms/internal/pario"
 	"parms/internal/vtime"
 )
@@ -111,6 +112,22 @@ type Result struct {
 	// rejected, blocks lost and recovered, and I/O retries. It is
 	// zero-valued in a fault-free run.
 	FaultReport fault.Report
+	// Trace is the per-rank span trace of the run and Metrics the
+	// metrics registry, echoed from the cluster's obs.Observer. Both
+	// are nil when the cluster carries no observer.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+}
+
+// StageSpanNames are the span names that tile each rank's virtual
+// timeline in a traced run, in timeline order: every stage span is
+// followed by the sync span of the collective boundary that closes it.
+// The "boundary" attribute of each sync span carries the allreduced
+// stage-boundary timestamp the StageTimes decomposition is computed
+// from, so Times.X == boundary(sync:X) - boundary(previous sync).
+var StageSpanNames = []string{
+	"sync:init", "read", "sync:read", "compute", "sync:compute",
+	"merge", "sync:merge", "write", "sync:write",
 }
 
 // defaultMergeTimeout is the per-member receive budget (virtual
@@ -154,6 +171,10 @@ func Run(c *mpsim.Cluster, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o := c.Obs(); o != nil {
+		res.Trace = o.Trace
+		res.Metrics = o.Metrics
+	}
 	return res, nil
 }
 
@@ -173,7 +194,30 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		timeout = defaultMergeTimeout
 	}
 
-	t0 := r.AllreduceMaxTime()
+	// Each stage becomes one span per rank ending at the rank's local
+	// clock when it enters the boundary collective, then the collective
+	// itself becomes a sync span — so the spans tile each rank's
+	// virtual timeline exactly, and the max stage-span end across ranks
+	// IS the allreduced boundary that StageTimes is computed from (the
+	// boundary is also stamped on the sync span for direct readback).
+	tr := r.Tracer()
+	stageStart := r.Clock()
+	boundary := func(stage string, attrs ...obs.Attr) float64 {
+		end := r.Clock()
+		t := r.AllreduceMaxTime()
+		if tr.Enabled() {
+			name := "init"
+			if stage != "" {
+				tr.Span(stage, stageStart, end, attrs...)
+				name = stage
+			}
+			tr.Span("sync:"+name, end, r.Clock(), obs.F("boundary", t))
+		}
+		stageStart = r.Clock()
+		return t
+	}
+
+	t0 := boundary("")
 
 	// --- Read data blocks (section IV-B), or receive them in situ ---
 	vols := make(map[int]*grid.Volume, len(myBlocks))
@@ -193,10 +237,17 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	} else {
 		for i := 0; i < maxPerRank; i++ {
 			var bytes int64
+			bid := -1
+			ioStart := r.Clock()
 			if i < len(myBlocks) {
-				b := dec.Blocks[myBlocks[i]]
+				bid = myBlocks[i]
+				b := dec.Blocks[bid]
 				vol, retries, err := pario.ReadBlockVolumeStats(c.FS(), p.File, p.Dims, p.DType, b)
 				report.IORetries += retries
+				if retries > 0 {
+					tr.Instant("fault:io_retry", r.Clock(),
+						obs.I("block", int64(bid)), obs.I("retries", int64(retries)))
+				}
 				if err != nil {
 					return err
 				}
@@ -204,6 +255,10 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 				bytes = pario.BlockBytes(p.DType, b)
 			}
 			r.IOAccount(bytes)
+			if tr.Enabled() && bid >= 0 {
+				tr.Span("read:block", ioStart, r.Clock(),
+					obs.I("id", int64(bid)), obs.I("bytes", bytes))
+			}
 		}
 	}
 	if r.Checkpoint("read") {
@@ -215,12 +270,13 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		}
 		report.RankCrashes++
 	}
-	t1 := r.AllreduceMaxTime()
+	t1 := boundary("read", obs.I("blocks", int64(len(vols))))
 
 	// --- Compute gradient, MS complex, and simplify per block
 	// (sections IV-C to IV-E) ---
 	complexes := make(map[int]*mscomplex.Complex, len(myBlocks))
 	truncated := 0
+	var workTotal vtime.Work
 	computeStart := float64(r.Clock())
 	for _, bid := range myBlocks {
 		vol, ok := vols[bid]
@@ -231,6 +287,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		}
 		b := dec.Blocks[bid]
 		start := time.Now()
+		blockStart := r.Clock()
 		cc := cube.New(p.Dims, b, vol)
 		field := gradient.Compute(cc, dec)
 		traced := mscomplex.FromField(field, dec, p.Trace)
@@ -240,13 +297,27 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		compacted := ms.Compact() // carries ms.Work plus its own ops
 		complexes[bid] = compacted
 		delete(vols, bid)
+		w := field.Work
+		w.Add(compacted.Work)
+		workTotal.Add(w)
 		if p.Measured {
 			r.Elapse(time.Since(start).Seconds())
 		} else {
-			w := field.Work
-			w.Add(compacted.Work)
 			r.Compute(w)
 		}
+		if tr.Enabled() {
+			n, a := compacted.AliveCounts()
+			tr.Span("block", blockStart, r.Clock(),
+				obs.I("id", int64(bid)),
+				obs.I("nodes", int64(n[0]+n[1]+n[2]+n[3])), obs.I("arcs", int64(a)),
+				obs.I("path_steps", w.PathSteps), obs.I("cells", w.CellsVisited))
+		}
+	}
+	if reg := r.Metrics(); reg != nil {
+		reg.Counter("compute_cells_total").Add(workTotal.CellsVisited)
+		reg.Counter("compute_path_steps_total").Add(workTotal.PathSteps)
+		reg.Counter("compute_cancellations_total").Add(workTotal.Cancellations)
+		reg.Histogram("compute_block_path_steps").Observe(workTotal.PathSteps)
 	}
 	if r.Checkpoint("compute") {
 		// Crash-restart during the compute stage: the per-block
@@ -258,7 +329,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	}
 	computeLocal := float64(r.Clock()) - computeStart
 	computeMean := r.AllreduceFloat64(computeLocal, "sum") / float64(r.Size())
-	t2 := r.AllreduceMaxTime()
+	t2 := boundary("compute", obs.I("blocks", int64(len(complexes))))
 	rawLocal := 0
 	for _, ms := range complexes {
 		rawLocal += ms.NumAliveNodes()
@@ -275,7 +346,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	if err != nil {
 		return err
 	}
-	t3 := r.AllreduceMaxTime()
+	t3 := boundary("merge", obs.I("rounds", int64(len(rounds))))
 
 	// --- Write MS complex blocks (section IV-G) ---
 	if r.Checkpoint("write") {
@@ -290,7 +361,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	if err != nil {
 		return err
 	}
-	t4 := r.AllreduceMaxTime()
+	t4 := boundary("write", obs.I("bytes", outBytes))
 
 	truncTotal := int(r.AllreduceFloat64(float64(truncated), "sum"))
 	var nodeTotals [4]int
@@ -393,6 +464,10 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 		} else {
 			v, retries, err := pario.ReadBlockVolumeStats(c.FS(), p.File, p.Dims, p.DType, b)
 			report.IORetries += retries
+			if retries > 0 {
+				r.Tracer().Instant("fault:io_retry", r.Clock(),
+					obs.I("block", int64(bid)), obs.I("retries", int64(retries)))
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -509,15 +584,23 @@ func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 
 	// Collective write rounds: every rank participates in every round,
 	// contributing a block payload if it has one left, or a null write.
+	tr := r.Tracer()
 	for i := 0; i < maxPerRank; i++ {
 		var data []byte
 		var off int64
+		bid := int64(-1)
 		if i < len(mine) {
 			data = payloads[mine[i]]
 			off = offsets[mine[i]]
+			bid = int64(mine[i])
 		}
+		wStart := r.Clock()
 		if err := r.CollectiveWrite(name, off, data); err != nil {
 			return 0, nil, err
+		}
+		if tr.Enabled() && bid >= 0 {
+			tr.Span("write:block", wStart, r.Clock(),
+				obs.I("id", bid), obs.I("bytes", int64(len(data))))
 		}
 	}
 

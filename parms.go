@@ -34,6 +34,7 @@ import (
 	"parms/internal/merge"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
+	"parms/internal/obs"
 	"parms/internal/pipeline"
 	"parms/internal/serial"
 	"parms/internal/synth"
@@ -73,7 +74,24 @@ type (
 	FaultPlan = fault.Plan
 	// FaultReport tallies the fault events a run observed and survived.
 	FaultReport = fault.Report
+	// Tracer is the per-rank virtual-time span trace of an observed
+	// run; export it with WriteChromeTrace (Perfetto) or summarize it
+	// with StageStats.
+	Tracer = obs.Tracer
+	// Metrics is the metrics registry of an observed run; export it
+	// with WritePrometheus.
+	Metrics = obs.Registry
+	// StageStat summarizes one span name's per-rank durations
+	// (p50/p95/max and the max/mean imbalance ratio).
+	StageStat = obs.StageStat
 )
+
+// WriteStageStats renders a stage summary table (see Tracer.StageStats).
+var WriteStageStats = obs.WriteStageStats
+
+// StageSpanNames are the top-level span names that tile each rank's
+// timeline in a traced run, in timeline order.
+var StageSpanNames = pipeline.StageSpanNames
 
 // NewFaultPlan creates an empty fault plan; all injection draws are
 // derived from the seed, so equal plans reproduce equal runs.
@@ -150,6 +168,11 @@ type Options struct {
 	// RecvGrace bounds the real (wall-clock) time a timed-out receive
 	// may wait for a message that never arrives (default 2s).
 	RecvGrace time.Duration
+	// Trace enables per-rank span tracing and the metrics registry.
+	// The run then populates Result.Trace and Result.Metrics; export
+	// them with WriteChromeTrace / WritePrometheus. When false (the
+	// default) every instrumentation hook is a nil no-op.
+	Trace bool
 }
 
 // Result is the outcome of a parallel computation.
@@ -175,6 +198,10 @@ type Result struct {
 	// FaultReport tallies the fault events observed across ranks
 	// (zero-valued in a fault-free run).
 	FaultReport FaultReport
+	// Trace holds the per-rank span trace and Metrics the metrics
+	// registry of the run; both are nil unless Options.Trace was set.
+	Trace   *Tracer
+	Metrics *Metrics
 }
 
 // Merged returns the single output complex of a fully merged run, or
@@ -211,12 +238,17 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 	if radices == nil && opt.FullMerge {
 		radices = merge.Full(blocks).Radices
 	}
+	var ob *obs.Observer
+	if opt.Trace {
+		ob = obs.New(opt.Procs)
+	}
 	cluster, err := mpsim.New(mpsim.Config{
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,
 		MaxParallel: opt.MaxParallel,
 		Faults:      opt.Faults,
 		RecvGrace:   opt.RecvGrace,
+		Obs:         ob,
 	})
 	if err != nil {
 		return nil, err
@@ -249,6 +281,8 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		BytesSent:    res.BytesSent,
 		Complexes:    res.Complexes,
 		FaultReport:  res.FaultReport,
+		Trace:        res.Trace,
+		Metrics:      res.Metrics,
 	}
 	return out, nil
 }
@@ -273,12 +307,17 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 	if radices == nil && opt.FullMerge {
 		radices = merge.Full(blocks).Radices
 	}
+	var ob *obs.Observer
+	if opt.Trace {
+		ob = obs.New(opt.Procs)
+	}
 	cluster, err := mpsim.New(mpsim.Config{
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,
 		MaxParallel: opt.MaxParallel,
 		Faults:      opt.Faults,
 		RecvGrace:   opt.RecvGrace,
+		Obs:         ob,
 	})
 	if err != nil {
 		return nil, err
@@ -311,6 +350,8 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		BytesSent:    res.BytesSent,
 		Complexes:    res.Complexes,
 		FaultReport:  res.FaultReport,
+		Trace:        res.Trace,
+		Metrics:      res.Metrics,
 	}, nil
 }
 

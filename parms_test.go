@@ -1,6 +1,7 @@
 package parms
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -180,5 +181,50 @@ func TestChaosPublicFaultInjection(t *testing.T) {
 	}
 	if res.Merged() == nil {
 		t.Fatal("no merged complex after recovery")
+	}
+}
+
+func TestPublicTraceKnob(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	plain, err := Compute(vol, Options{Procs: 8, FullMerge: true, Persistence: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil || plain.Metrics != nil {
+		t.Fatal("untraced run carries Trace/Metrics")
+	}
+
+	res, err := Compute(vol, Options{Procs: 8, FullMerge: true, Persistence: 0.15, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Metrics == nil {
+		t.Fatal("traced run missing Trace or Metrics")
+	}
+	if res.Nodes != plain.Nodes {
+		t.Errorf("tracing changed the result: %v vs %v", res.Nodes, plain.Nodes)
+	}
+	stats := res.Trace.StageStats(StageSpanNames...)
+	if len(stats) != len(StageSpanNames) {
+		t.Fatalf("%d stage stats, want %d", len(stats), len(StageSpanNames))
+	}
+	var buf strings.Builder
+	if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Error("trace JSON missing traceEvents")
+	}
+	buf.Reset()
+	if err := res.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mpsim_bytes_sent_total") {
+		t.Error("metrics dump missing mpsim_bytes_sent_total")
+	}
+	buf.Reset()
+	WriteStageStats(&buf, stats)
+	if !strings.Contains(buf.String(), "compute") {
+		t.Error("stage table missing compute row")
 	}
 }
