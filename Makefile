@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos fuzz vet trace bench microbench clean
+.PHONY: all build test race chaos chaos-nightly fuzz vet trace bench benchgate microbench clean
 
 all: vet build test
 
@@ -14,16 +14,24 @@ race:
 	$(GO) test -race ./...
 
 # The chaos suite: every fault-injection and recovery test (rank
-# crashes, dropped/corrupted/duplicated payloads, flaky storage) under
-# the race detector. No injected fault may hang; each test carries a
-# hard real-time guard.
+# crashes, dropped/corrupted/duplicated payloads, flaky storage,
+# checkpoint restores) under the race detector. No injected fault may
+# hang; each test carries a hard real-time guard. -short keeps PR runs
+# quick by shrinking the large-rank sweeps; nightly runs them in full.
 chaos:
-	$(GO) test -race -run Chaos ./...
+	$(GO) test -race -short -run Chaos ./...
 
-# Brief coverage-guided fuzz of the frame decoder on top of the seeded
-# corpus that `make test` already replays.
+# The full chaos suite at nightly scale: large-rank sweeps included,
+# cache bypassed so every fault schedule actually replays.
+chaos-nightly:
+	$(GO) test -race -count=1 -run Chaos ./...
+
+# Brief coverage-guided fuzz of the merge frame decoder and the
+# checkpoint decoder on top of the seeded corpus that `make test`
+# already replays.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzChaosUnframe -fuzztime 30s ./internal/merge/
+	$(GO) test -run '^$$' -fuzz FuzzChaosDecodeCheckpoint -fuzztime 30s ./internal/pario/
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +50,15 @@ trace:
 # with per-stage times, imbalance ratios, and communication volumes.
 bench:
 	$(GO) run ./cmd/msbench -exp bench
+
+# Regression gate: rerun the bench sweep and compare it against the
+# newest committed BENCH_*.json baseline. Deterministic quantities
+# (communication volume, peak payload, complex sizes) must match
+# exactly; modeled stage times may regress at most 5%. Refresh the
+# committed baseline in the same PR when a drift is deliberate.
+benchgate:
+	$(GO) run ./cmd/msbench -exp bench -q -json BENCH_nightly.json
+	$(GO) run ./cmd/benchdiff -fresh BENCH_nightly.json
 
 # The paper-evaluation drivers as Go microbenchmarks.
 microbench:

@@ -11,10 +11,12 @@
 // "balance" (multiple blocks per process on a skewed workload),
 // "speedup" (real measured shared-memory scaling on this host),
 // "globalsimplify" (the future-work global persistence simplification),
-// "mapping" (torus rank-placement sensitivity of the merge stage), and
+// "mapping" (torus rank-placement sensitivity of the merge stage),
 // "bench" (a traced strong-scaling sweep that also writes a
 // BENCH_<timestamp>.json snapshot with per-stage times, imbalance
-// ratios, and communication volumes for trend tracking).
+// ratios, and communication volumes for trend tracking), and
+// "recovery" (a recovery-cost drill crashing one rank per merge round,
+// comparing checkpoint-restore against recompute-from-source).
 //
 // Flags:
 //
@@ -39,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig9, fig10, balance, speedup, globalsimplify, mapping, bench, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, fig7, fig9, fig10, balance, speedup, globalsimplify, mapping, bench, recovery, all")
 	scale := flag.Float64("scale", 1.0, "dataset extent multiplier")
 	maxProcs := flag.Int("maxprocs", 0, "cap on rank counts in scaling sweeps (0 = experiment default)")
 	parallel := flag.Int("parallel", 0, "host goroutine concurrency bound (0 = NumCPU)")
@@ -70,9 +72,10 @@ func main() {
 		"globalsimplify": func() error { return show(experiments.GlobalSimplify(cfg)) },
 		"mapping":        func() error { return show(experiments.Mapping(cfg)) },
 		"bench":          func() error { return runBench(cfg, *jsonOut) },
+		"recovery":       func() error { return show(experiments.Recovery(cfg)) },
 	}
 	order := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
-		"balance", "speedup", "globalsimplify", "mapping", "bench"}
+		"balance", "speedup", "globalsimplify", "mapping", "bench", "recovery"}
 
 	var selected []string
 	if *exp == "all" {

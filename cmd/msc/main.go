@@ -45,6 +45,8 @@ func main() {
 	measured := flag.Bool("measured", false, "report real wall-clock compute times instead of modeled Blue Gene/P times")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-style text dump of the run's metrics")
+	ckpt := flag.Int("ckpt", 0, "checkpoint merge state every N rounds (0 = off); recovery restores from the newest valid checkpoint before recomputing")
+	ckptDir := flag.String("ckptdir", "ckpt", "checkpoint directory on the simulated filesystem")
 	flag.Parse()
 
 	if *in == "" || *dimsFlag == "" {
@@ -98,14 +100,16 @@ func main() {
 	lo, hi := rangeOf(samples)
 
 	res, err := pipeline.Run(cluster, pipeline.Params{
-		File:        "input.raw",
-		Dims:        dims,
-		DType:       dtype,
-		Blocks:      nblocks,
-		Radices:     radices,
-		Persistence: float32(*persistence * float64(hi-lo)),
-		OutFile:     "output.msc",
-		Measured:    *measured,
+		File:            "input.raw",
+		Dims:            dims,
+		DType:           dtype,
+		Blocks:          nblocks,
+		Radices:         radices,
+		Persistence:     float32(*persistence * float64(hi-lo)),
+		OutFile:         "output.msc",
+		Measured:        *measured,
+		CheckpointEvery: *ckpt,
+		CheckpointDir:   *ckptDir,
 	})
 	if err != nil {
 		fatalf("%v", err)

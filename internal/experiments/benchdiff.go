@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DecodeBenchJSON parses a bench sweep snapshot written by
+// BenchResult.WriteJSON.
+func DecodeBenchJSON(r io.Reader) (*BenchResult, error) {
+	var b BenchResult
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: bad bench snapshot: %w", err)
+	}
+	if len(b.Runs) == 0 {
+		return nil, fmt.Errorf("experiments: bench snapshot has no runs")
+	}
+	return &b, nil
+}
+
+// CompareBench gates a fresh bench sweep against a committed baseline,
+// matching runs by rank count. Virtual time is deterministic, so
+// communication volume, peak payload and output complex sizes must
+// match the baseline exactly — any drift is a behavior change, not
+// noise. Modeled per-stage times fail only when they regress by more
+// than tol (a fraction; improvements always pass). The result is one
+// human-readable violation per failure, empty when the gate passes.
+func CompareBench(baseline, fresh *BenchResult, tol float64) []string {
+	var violations []string
+	index := make(map[int]BenchRun, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		index[r.Procs] = r
+	}
+	for _, base := range baseline.Runs {
+		got, ok := index[base.Procs]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("procs=%d: run missing from fresh sweep", base.Procs))
+			continue
+		}
+		exact := []struct {
+			name      string
+			base, got int64
+		}{
+			{"blocks", int64(base.Blocks), int64(got.Blocks)},
+			{"bytes_sent", base.BytesSent, got.BytesSent},
+			{"bytes_recv", base.BytesRecv, got.BytesRecv},
+			{"peak_payload_bytes", base.PeakPayloadBytes, got.PeakPayloadBytes},
+			{"arcs", int64(base.Arcs), int64(got.Arcs)},
+		}
+		for _, e := range exact {
+			if e.base != e.got {
+				violations = append(violations, fmt.Sprintf(
+					"procs=%d: %s drifted %d -> %d (deterministic quantity, exact match required)",
+					base.Procs, e.name, e.base, e.got))
+			}
+		}
+		if base.Nodes != got.Nodes {
+			violations = append(violations, fmt.Sprintf(
+				"procs=%d: nodes drifted %v -> %v (deterministic quantity, exact match required)",
+				base.Procs, base.Nodes, got.Nodes))
+		}
+		stages := []struct {
+			name      string
+			base, got float64
+		}{
+			{"read_seconds", base.ReadSeconds, got.ReadSeconds},
+			{"compute_seconds", base.ComputeSeconds, got.ComputeSeconds},
+			{"merge_seconds", base.MergeSeconds, got.MergeSeconds},
+			{"write_seconds", base.WriteSeconds, got.WriteSeconds},
+			{"total_seconds", base.TotalSeconds, got.TotalSeconds},
+		}
+		for _, s := range stages {
+			if s.got > s.base*(1+tol) {
+				violations = append(violations, fmt.Sprintf(
+					"procs=%d: %s regressed %.4f -> %.4f (+%.1f%%, tolerance %.0f%%)",
+					base.Procs, s.name, s.base, s.got,
+					100*(s.got/s.base-1), 100*tol))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"parms/internal/fault"
+	"parms/internal/mpsim"
+	"parms/internal/pario"
+	"parms/internal/pipeline"
+	"parms/internal/synth"
+)
+
+// RecoveryRow is one run of the recovery-cost drill: a rank crash at
+// the start of merge round Round, recovered either by checkpoint
+// restore or by recompute from source data.
+type RecoveryRow struct {
+	Round          int
+	Mode           string // "clean", "checkpoint", "recompute"
+	MergeSeconds   float64
+	TotalSeconds   float64
+	Recomputes     int
+	RecomputeCells int64
+	Restores       int
+	BytesRead      int64
+	Fallbacks      int
+}
+
+// RecoveryResult is the full drill, rendered as a table.
+type RecoveryResult struct {
+	Procs int
+	Rows  []RecoveryRow
+}
+
+// Recovery measures what the checkpoint subsystem buys: a 64-rank
+// radix-4 merge with a rank crash injected at the start of each round,
+// run with checkpoints every round and with checkpoints off. Without
+// checkpoints, recovery recomputes the lost subtree from source data —
+// cost grows with the crash round. With checkpoints, any crash after
+// round 0 is served by a CRC-verified read of the newest round
+// checkpoint, so late-round recovery cost collapses to the payload
+// read. The round-0 crash is the control: nothing is checkpointed yet,
+// so both modes recompute.
+func Recovery(cfg Config) (*RecoveryResult, error) {
+	n := cfg.dim(33)
+	vol := synth.Sinusoid(n, 4)
+	const procs = 64
+	radices := []int{4, 4, 4}
+	out := &RecoveryResult{Procs: procs}
+
+	run := func(plan *fault.Plan, every int) (*pipeline.Result, error) {
+		cluster, err := mpsim.New(mpsim.Config{
+			Procs: procs, MaxParallel: cfg.maxParallel(), Faults: plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pario.WriteVolume(cluster.FS(), "volume.raw", vol)
+		lo, hi := vol.Range()
+		return pipeline.Run(cluster, pipeline.Params{
+			File:            "volume.raw",
+			Dims:            vol.Dims,
+			DType:           vol.DType,
+			Blocks:          procs,
+			Radices:         radices,
+			Persistence:     float32(0.01 * float64(hi-lo)),
+			OutFile:         "recovery.msc",
+			CheckpointEvery: every,
+		})
+	}
+
+	cfg.logf("recovery: clean baseline\n")
+	clean, err := run(nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, RecoveryRow{
+		Round: -1, Mode: "clean",
+		MergeSeconds: clean.Times.Merge, TotalSeconds: clean.Times.Total,
+	})
+
+	// The crashing rank owns the block that enters round r as a member
+	// of the group rooted at block 0: block stride(r).
+	stride := 1
+	for round := 0; round < len(radices); round++ {
+		for _, every := range []int{1, 0} {
+			mode := "checkpoint"
+			if every == 0 {
+				mode = "recompute"
+			}
+			cfg.logf("recovery: crash at round %d, %s\n", round, mode)
+			plan := fault.NewPlan(int64(40+round)).
+				CrashRank(stride, fmt.Sprintf("merge:%d", round))
+			res, err := run(plan, every)
+			if err != nil {
+				return nil, err
+			}
+			rep := res.FaultReport
+			out.Rows = append(out.Rows, RecoveryRow{
+				Round:          round,
+				Mode:           mode,
+				MergeSeconds:   res.Times.Merge,
+				TotalSeconds:   res.Times.Total,
+				Recomputes:     rep.Recomputes,
+				RecomputeCells: rep.RecomputeCells,
+				Restores:       rep.CheckpointRestores,
+				BytesRead:      rep.CheckpointBytesRead,
+				Fallbacks:      rep.CheckpointFallbacks,
+			})
+		}
+		stride *= radices[round]
+	}
+	return out, nil
+}
+
+// Print renders the drill as an aligned table.
+func (r *RecoveryResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Recovery-cost drill: %d ranks, radix-4 merge, one rank crash per row\n", r.Procs)
+	header := []string{"crash round", "recovery", "merge s", "total s",
+		"recomputes", "cells", "restores", "ckpt bytes", "fallbacks"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		round := "-"
+		if row.Round >= 0 {
+			round = fmt.Sprint(row.Round)
+		}
+		rows = append(rows, []string{
+			round, row.Mode,
+			fmt.Sprintf("%.4f", row.MergeSeconds),
+			fmt.Sprintf("%.4f", row.TotalSeconds),
+			fmt.Sprint(row.Recomputes),
+			fmt.Sprint(row.RecomputeCells),
+			fmt.Sprint(row.Restores),
+			fmt.Sprint(row.BytesRead),
+			fmt.Sprint(row.Fallbacks),
+		})
+	}
+	table(w, header, rows)
+}

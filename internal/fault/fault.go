@@ -101,12 +101,15 @@ type crashRule struct {
 
 // fsRule fails filesystem operations. times is how many matching
 // operations fail transiently; times < 0 means every match fails
-// permanently.
+// permanently. With corrupt set, the rule does not fail the operation:
+// it bit-flips the bytes a read returns instead (times reads, or every
+// read when times < 0).
 type fsRule struct {
-	op    FSOp
-	name  string // "" = any file
-	times int
-	count int
+	op      FSOp
+	name    string // "" = any file
+	times   int
+	count   int
+	corrupt bool
 }
 
 // Plan is a seeded set of fault rules consulted by the mpsim substrate.
@@ -200,6 +203,15 @@ func (p *Plan) FailRead(name string, times int) *Plan {
 // FailWrite is FailRead for writes.
 func (p *Plan) FailWrite(name string, times int) *Plan {
 	return p.addFSRule(&fsRule{op: FSWrite, name: name, times: times})
+}
+
+// CorruptRead makes the next times reads of the named file (empty =
+// any) return bit-flipped copies of the stored bytes; times < 0
+// corrupts every read. The file itself is never mutated, and the read
+// does not fail — readers must detect the damage through checksums
+// (the PCSFM2 payload and footer CRCs) and treat the data as invalid.
+func (p *Plan) CorruptRead(name string, times int) *Plan {
+	return p.addFSRule(&fsRule{op: FSRead, name: name, times: times, corrupt: true})
 }
 
 func (p *Plan) addFSRule(r *fsRule) *Plan {
@@ -307,7 +319,7 @@ func (p *Plan) OnFS(op FSOp, name string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, r := range p.fs {
-		if r.op != op || (r.name != "" && r.name != name) {
+		if r.corrupt || r.op != op || (r.name != "" && r.name != name) {
 			continue
 		}
 		if r.times < 0 {
@@ -321,6 +333,32 @@ func (p *Plan) OnFS(op FSOp, name string) error {
 		}
 	}
 	return nil
+}
+
+// OnFSRead gives the plan a chance to corrupt the bytes a successful
+// read returns. The input slice is owned by the caller (already a
+// copy), so corruption may mutate it in place via the plan's seeded
+// flipper. Safe on a nil plan.
+func (p *Plan) OnFSRead(name string, data []byte) []byte {
+	if p == nil {
+		return data
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.fs {
+		if !r.corrupt || r.op != FSRead || (r.name != "" && r.name != name) {
+			continue
+		}
+		if r.times >= 0 {
+			if r.count >= r.times {
+				continue
+			}
+			r.count++
+		}
+		p.logf("fs corrupt read %q len=%d", name, len(data))
+		return p.corrupt(data)
+	}
+	return data
 }
 
 func (p *Plan) logf(format string, args ...any) {
@@ -374,6 +412,20 @@ type Report struct {
 	Corruptions int
 	// Recomputes counts deterministic block-subtree reconstructions.
 	Recomputes int
+	// RecomputeCells totals the cells visited re-deriving lost blocks
+	// from source data — the compute-side recovery cost a checkpoint
+	// read replaces.
+	RecomputeCells int64
+	// CheckpointRestores counts lost subtrees served from a valid
+	// merge-round checkpoint instead of a recompute.
+	CheckpointRestores int
+	// CheckpointBytesRead totals the checkpoint file bytes read by
+	// successful restores — the I/O-side recovery cost.
+	CheckpointBytesRead int64
+	// CheckpointFallbacks counts restore probes that found no valid
+	// checkpoint (missing, corrupted, or crash before the first
+	// checkpointed round) and fell back to recompute.
+	CheckpointFallbacks int
 	// IORetries counts filesystem operations retried after transient
 	// errors.
 	IORetries int
@@ -384,6 +436,10 @@ type Report struct {
 	// RecoveredBlocks lists blocks rebuilt by recompute (sorted,
 	// deduplicated after aggregation).
 	RecoveredBlocks []int
+	// RestoredBlocks lists blocks whose state came back from a
+	// merge-round checkpoint read (sorted, deduplicated after
+	// aggregation).
+	RestoredBlocks []int
 }
 
 // Merge folds another report into r.
@@ -392,29 +448,38 @@ func (r *Report) Merge(o *Report) {
 	r.Timeouts += o.Timeouts
 	r.Corruptions += o.Corruptions
 	r.Recomputes += o.Recomputes
+	r.RecomputeCells += o.RecomputeCells
+	r.CheckpointRestores += o.CheckpointRestores
+	r.CheckpointBytesRead += o.CheckpointBytesRead
+	r.CheckpointFallbacks += o.CheckpointFallbacks
 	r.IORetries += o.IORetries
 	r.LostBlocks = append(r.LostBlocks, o.LostBlocks...)
 	r.RecoveredBlocks = append(r.RecoveredBlocks, o.RecoveredBlocks...)
+	r.RestoredBlocks = append(r.RestoredBlocks, o.RestoredBlocks...)
 }
 
 // Normalize sorts and deduplicates the block lists.
 func (r *Report) Normalize() {
 	r.LostBlocks = sortDedup(r.LostBlocks)
 	r.RecoveredBlocks = sortDedup(r.RecoveredBlocks)
+	r.RestoredBlocks = sortDedup(r.RestoredBlocks)
 }
 
 // Faulty reports whether anything at all was observed.
 func (r *Report) Faulty() bool {
 	return r.RankCrashes != 0 || r.Timeouts != 0 || r.Corruptions != 0 ||
-		r.Recomputes != 0 || r.IORetries != 0 ||
-		len(r.LostBlocks) != 0 || len(r.RecoveredBlocks) != 0
+		r.Recomputes != 0 || r.CheckpointRestores != 0 ||
+		r.CheckpointFallbacks != 0 || r.IORetries != 0 ||
+		len(r.LostBlocks) != 0 || len(r.RecoveredBlocks) != 0 ||
+		len(r.RestoredBlocks) != 0
 }
 
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"crashes=%d timeouts=%d corruptions=%d recomputes=%d ioRetries=%d lost=%v recovered=%v",
-		r.RankCrashes, r.Timeouts, r.Corruptions, r.Recomputes, r.IORetries,
-		r.LostBlocks, r.RecoveredBlocks)
+		"crashes=%d timeouts=%d corruptions=%d recomputes=%d (cells=%d) restores=%d (bytes=%d, fallbacks=%d) ioRetries=%d lost=%v recovered=%v restored=%v",
+		r.RankCrashes, r.Timeouts, r.Corruptions, r.Recomputes, r.RecomputeCells,
+		r.CheckpointRestores, r.CheckpointBytesRead, r.CheckpointFallbacks,
+		r.IORetries, r.LostBlocks, r.RecoveredBlocks, r.RestoredBlocks)
 }
 
 func sortDedup(xs []int) []int {

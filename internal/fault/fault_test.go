@@ -191,3 +191,42 @@ func TestDropProbabilityIsSeeded(t *testing.T) {
 		t.Fatalf("degenerate drop count %d", drops)
 	}
 }
+
+func TestCorruptReadRule(t *testing.T) {
+	p := NewPlan(3).CorruptRead("ckpt/a", 2)
+	stored := []byte("checkpoint payload bytes, checksummed by the reader")
+	// Corrupt rules never fail the operation itself.
+	if err := p.OnFS(FSRead, "ckpt/a"); err != nil {
+		t.Fatalf("corrupt rule failed the read: %v", err)
+	}
+	// The first two reads come back damaged; the stored bytes are
+	// untouched and later reads are clean.
+	for i := 0; i < 2; i++ {
+		got := p.OnFSRead("ckpt/a", append([]byte(nil), stored...))
+		if bytes.Equal(got, stored) {
+			t.Fatalf("read %d not corrupted", i)
+		}
+		if len(got) != len(stored) {
+			t.Fatalf("read %d resized: %d != %d", i, len(got), len(stored))
+		}
+	}
+	if got := p.OnFSRead("ckpt/a", append([]byte(nil), stored...)); !bytes.Equal(got, stored) {
+		t.Fatal("rule still firing past its count")
+	}
+	// Other files are unaffected.
+	q := NewPlan(3).CorruptRead("ckpt/a", -1)
+	if got := q.OnFSRead("other", append([]byte(nil), stored...)); !bytes.Equal(got, stored) {
+		t.Fatal("rule matched the wrong file")
+	}
+	// times < 0 corrupts every read.
+	for i := 0; i < 4; i++ {
+		if got := q.OnFSRead("ckpt/a", append([]byte(nil), stored...)); bytes.Equal(got, stored) {
+			t.Fatalf("permanent corrupt rule missed read %d", i)
+		}
+	}
+	// A nil plan passes data through untouched.
+	var nilPlan *Plan
+	if got := nilPlan.OnFSRead("x", stored); !bytes.Equal(got, stored) {
+		t.Fatal("nil plan mutated data")
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	// Report, when non-nil, accumulates this rank's observed fault
 	// events.
 	Report *fault.Report
+	// Checkpoint, when non-nil with Every >= 1, makes group roots
+	// persist their post-round complexes to the shared filesystem and
+	// makes recovery probe those checkpoints before falling back to
+	// Recompute. Restoring the newest checkpoint reproduces the exact
+	// payload the lost member would have sent, so the merged output
+	// stays byte-identical to the fault-free run.
+	Checkpoint *Checkpoint
 }
 
 // Execute runs the merge rounds of the schedule over the per-block
@@ -132,14 +139,14 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 			}
 			root, ok := complexes[g.Root]
 			if !ok {
-				if opts.Recompute == nil {
+				if opts.Recompute == nil && opts.Checkpoint == nil {
 					return nil, fmt.Errorf("merge: rank %d does not hold root block %d", r.ID(), g.Root)
 				}
-				rebuilt, err := Rebuild(r, sched, nblocks, g.Root, round, opts)
+				recovered, err := Recover(r, sched, nblocks, g.Root, round, opts)
 				if err != nil {
-					return nil, fmt.Errorf("merge: rebuild root block %d: %w", g.Root, err)
+					return nil, fmt.Errorf("merge: recover root block %d: %w", g.Root, err)
 				}
-				root = rebuilt
+				root = recovered
 			}
 			var missing []int
 			for _, m := range g.Members {
@@ -149,11 +156,12 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				srcRank := grid.RankOfBlock(m, procs)
 				tag := tagMergeBase + round*16 + (m-g.Root)/stride
 				var payload []byte
+				lost := false
 				if opts.Timeout > 0 {
 					var ok bool
 					payload, _, ok = r.RecvTimeout(srcRank, tag, opts.Timeout)
 					if !ok {
-						if opts.Recompute == nil {
+						if opts.Recompute == nil && opts.Checkpoint == nil {
 							return nil, fmt.Errorf("merge: timeout waiting for block %d from rank %d", m, srcRank)
 						}
 						if opts.Report != nil {
@@ -161,27 +169,48 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 						}
 						tr.Instant("fault:timeout", r.Clock(), obs.I("block", int64(m)),
 							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
-						missing = append(missing, m)
-						continue
+						lost = true
 					}
 				} else {
 					payload, _ = r.Recv(srcRank, tag)
 				}
-				other, err := decodeMember(payload)
-				if err != nil {
-					if opts.Recompute == nil {
-						return nil, fmt.Errorf("merge: block %d from rank %d: %w", m, srcRank, err)
+				var other *mscomplex.Complex
+				if !lost {
+					var err error
+					other, err = decodeMember(payload)
+					if err != nil {
+						if opts.Recompute == nil && opts.Checkpoint == nil {
+							return nil, fmt.Errorf("merge: block %d from rank %d: %w", m, srcRank, err)
+						}
+						if opts.Report != nil {
+							opts.Report.Corruptions++
+						}
+						tr.Instant("fault:corrupt", r.Clock(), obs.I("block", int64(m)),
+							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
+						other, payload = nil, nil
 					}
-					if opts.Report != nil {
-						opts.Report.Corruptions++
+				}
+				if other == nil {
+					// The newest valid checkpoint holds the exact complex
+					// this member would have sent, so gluing it here, in
+					// member order, keeps the merged output byte-identical
+					// to the fault-free run. Only when no checkpoint
+					// validates does the subtree drop to the post-simplify
+					// Rebuild path below.
+					restored, ok, err := Restore(r, sched, nblocks, m, round, opts)
+					if err != nil {
+						return nil, fmt.Errorf("merge: restore block %d: %w", m, err)
 					}
-					tr.Instant("fault:corrupt", r.Clock(), obs.I("block", int64(m)),
-						obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
-					missing = append(missing, m)
-					continue
+					if !ok {
+						missing = append(missing, m)
+						continue
+					}
+					other = restored
 				}
 				glueStart := r.Clock()
-				r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
+				if len(payload) > 0 {
+					r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
+				}
 				workBefore := root.Work
 				root.Glue(other)
 				r.Compute(workDelta(root.Work, workBefore))
@@ -215,6 +244,9 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				next := compacted.Compact()
 				r.Compute(workDelta(next.Work, workBefore))
 				compacted = next
+			}
+			if opts.Checkpoint.writesAfter(round) {
+				opts.Checkpoint.write(r, round, g.Root, compacted)
 			}
 			complexes[g.Root] = compacted
 		}
@@ -282,6 +314,8 @@ func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Opti
 			return nil, err
 		}
 		local[b] = ms
+		// RecomputeCells is recorded inside the Recompute callback,
+		// where the gradient pass that visits them runs.
 		if opts.Report != nil {
 			opts.Report.LostBlocks = append(opts.Report.LostBlocks, b)
 			opts.Report.RecoveredBlocks = append(opts.Report.RecoveredBlocks, b)

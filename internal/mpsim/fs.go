@@ -93,7 +93,9 @@ func (fs *FS) ReadAt(name string, off int64, n int) ([]byte, error) {
 	}
 	out := make([]byte, n)
 	copy(out, f.data[off:])
-	return out, nil
+	// A fault plan may hand back a bit-flipped copy without mutating the
+	// stored bytes; checksummed readers detect and reject the damage.
+	return fs.faults.OnFSRead(name, out), nil
 }
 
 // Size returns the current length of a file.
@@ -223,6 +225,50 @@ func (r *Rank) CollectiveRead(name string, off int64, n int) ([]byte, error) {
 		return nil, err
 	}
 	return data, nil
+}
+
+// IndependentWrite is the rank-side independent file write: only this
+// rank participates, no collective synchronization happens, and the
+// clock advances by the I/O time of a lone writer. Used for per-root
+// artifacts such as merge-round checkpoints, where dragging every rank
+// through an Allreduce per round would serialize the pipeline.
+// Transient filesystem errors are retried with backoff.
+func (r *Rank) IndependentWrite(name string, off int64, data []byte) error {
+	var err error
+	if len(data) > 0 {
+		err = r.retryIO(func() error { return r.cluster.fs.WriteAt(name, off, data) })
+	}
+	n := int64(len(data))
+	r.clock.Advance(r.cluster.machine.IOTime(n, n))
+	return err
+}
+
+// IndependentRead is the rank-side independent file read, the
+// counterpart of IndependentWrite for recovery paths where a single
+// root re-reads its own checkpoint. Transient filesystem errors are
+// retried with backoff.
+func (r *Rank) IndependentRead(name string, off int64, n int) ([]byte, error) {
+	var data []byte
+	var err error
+	if n > 0 {
+		err = r.retryIO(func() error {
+			var rerr error
+			data, rerr = r.cluster.fs.ReadAt(name, off, n)
+			return rerr
+		})
+	}
+	nb := int64(n)
+	r.clock.Advance(r.cluster.machine.IOTime(nb, nb))
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// FileSize returns the current length of a shared-filesystem file, or
+// an error if it does not exist. Metadata-only: no clock charge.
+func (r *Rank) FileSize(name string) (int64, error) {
+	return r.cluster.fs.Size(name)
 }
 
 // ioAccount advances every participant's clock for one collective I/O

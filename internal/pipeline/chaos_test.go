@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -382,5 +383,246 @@ func TestChaosDuplicatedPayloadHarmless(t *testing.T) {
 	}
 	if res.FaultReport.Recomputes != 0 {
 		t.Errorf("duplicate forced %d recomputes", res.FaultReport.Recomputes)
+	}
+}
+
+// TestChaosCheckpointRestoreByRound is the tentpole recovery matrix: a
+// 64-rank radix-4 merge with a rank crash injected at the start of each
+// round, run with checkpointing on and off. With checkpoints every
+// round, any crash after round 0 must be served entirely by a
+// checkpoint read — zero recomputes — and, because the restored complex
+// is the exact payload the crashed member would have sent, the output
+// file must be byte-identical to the fault-free run. A round-0 crash
+// has no checkpoint to restore from and must fall back to recompute;
+// with checkpoints off every crash recomputes.
+func TestChaosCheckpointRestoreByRound(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	base := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: 64, Radices: []int{4, 4, 4}, Persistence: 0.1,
+		CheckpointEvery: 1,
+	}
+	fs, clean, err := runChaos(t, 64, nil, 0, base, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes, err := fs.FS().Get("vol.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// stride(r) = 1, 4, 16: the block that is a non-root member of the
+	// round-r group rooted at block 0, owned by the same-numbered rank.
+	stride := []int{1, 4, 16}
+	for _, ckpt := range []int{1, 0} {
+		for round := 0; round < 3; round++ {
+			name := fmt.Sprintf("ckpt=%d/round=%d", ckpt, round)
+			t.Run(name, func(t *testing.T) {
+				p := base
+				p.CheckpointEvery = ckpt
+				crash := stride[round]
+				plan := fault.NewPlan(int64(100+round)).
+					CrashRank(crash, fmt.Sprintf("merge:%d", round))
+				fs, res, err := runChaos(t, 64, plan, 500*time.Millisecond, p, vol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := res.FaultReport
+				if rep.RankCrashes != 1 {
+					t.Errorf("RankCrashes = %d, want 1", rep.RankCrashes)
+				}
+				if res.Nodes != clean.Nodes {
+					t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+				}
+				switch {
+				case ckpt == 1 && round > 0:
+					// Late-round crash with checkpoints: recovery is a
+					// read, never a recompute, and the output is
+					// byte-identical to the fault-free file.
+					if rep.Recomputes != 0 || rep.RecomputeCells != 0 {
+						t.Errorf("recomputes = %d (cells %d), want 0 with a valid checkpoint",
+							rep.Recomputes, rep.RecomputeCells)
+					}
+					if rep.CheckpointRestores != 1 || rep.CheckpointFallbacks != 0 {
+						t.Errorf("restores = %d fallbacks = %d, want 1 and 0",
+							rep.CheckpointRestores, rep.CheckpointFallbacks)
+					}
+					if rep.CheckpointBytesRead <= 0 {
+						t.Errorf("CheckpointBytesRead = %d, want > 0", rep.CheckpointBytesRead)
+					}
+					// The checkpoint covers the crashed member's subtree:
+					// the stride(round) blocks earlier rounds folded in.
+					var want []int
+					for b := crash; b < crash+stride[round]; b++ {
+						want = append(want, b)
+					}
+					if blockList(rep.RestoredBlocks) != blockList(want) {
+						t.Errorf("restored %v, want %v", rep.RestoredBlocks, want)
+					}
+					got, err := fs.FS().Get("vol.msc")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, cleanBytes) {
+						t.Errorf("output differs from fault-free run (%d vs %d bytes)",
+							len(got), len(cleanBytes))
+					}
+				case ckpt == 1 && round == 0:
+					// Nothing checkpointed before round 0: the probe must
+					// fall back to recompute, not fail the run.
+					if rep.CheckpointRestores != 0 || rep.CheckpointFallbacks < 1 {
+						t.Errorf("restores = %d fallbacks = %d, want 0 and >= 1",
+							rep.CheckpointRestores, rep.CheckpointFallbacks)
+					}
+					if rep.Recomputes < 1 {
+						t.Errorf("Recomputes = %d, want >= 1", rep.Recomputes)
+					}
+				default: // checkpoints off
+					if rep.CheckpointRestores != 0 || rep.CheckpointFallbacks != 0 {
+						t.Errorf("restores = %d fallbacks = %d with checkpoints off",
+							rep.CheckpointRestores, rep.CheckpointFallbacks)
+					}
+					if rep.Recomputes < 1 {
+						t.Errorf("Recomputes = %d, want >= 1", rep.Recomputes)
+					}
+					if rep.RecomputeCells <= 0 {
+						t.Errorf("RecomputeCells = %d, want > 0 when recomputing from source",
+							rep.RecomputeCells)
+					}
+					if len(rep.RestoredBlocks) != 0 {
+						t.Errorf("restored blocks %v with checkpoints off", rep.RestoredBlocks)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCorruptCheckpointFallsBack bit-flips every read of the one
+// checkpoint recovery needs: the CRC-verified decode must reject it and
+// recovery must fall back to recompute, producing the correct complex
+// rather than gluing damaged state.
+func TestChaosCorruptCheckpointFallsBack(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{2, 2}, Persistence: 0.2,
+		CheckpointEvery: 1,
+	}
+	_, clean, err := runChaos(t, 4, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2 merged {2,3} in round 0 and checkpointed the result; it
+	// crashes entering round 1 and its checkpoint reads back corrupted.
+	plan := fault.NewPlan(21).
+		CrashRank(2, "merge:1").
+		CorruptRead(pario.CheckpointName("ckpt", 0, 2), -1)
+	_, res, err := runChaos(t, 4, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if rep.CheckpointRestores != 0 || rep.CheckpointFallbacks != 1 {
+		t.Errorf("restores = %d fallbacks = %d, want 0 and 1",
+			rep.CheckpointRestores, rep.CheckpointFallbacks)
+	}
+	if rep.Recomputes != 1 {
+		t.Errorf("Recomputes = %d, want 1", rep.Recomputes)
+	}
+	if got := blockList(rep.RecoveredBlocks); got != blockList([]int{2, 3}) {
+		t.Errorf("recovered %v, want [2 3]", rep.RecoveredBlocks)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+}
+
+// TestChaosCrashAtWriteRestoresFromCheckpoint: with checkpointing on,
+// even losing the fully merged complex entering the write stage is
+// recovered by reading the final round's checkpoint — no recompute —
+// and the file written is byte-identical to the fault-free one.
+func TestChaosCrashAtWriteRestoresFromCheckpoint(t *testing.T) {
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Radices: []int{2, 2}, Persistence: 0.2,
+		CheckpointEvery: 1,
+	}
+	fs, clean, err := runChaos(t, 4, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes, err := fs.FS().Get("vol.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(9).CrashRank(0, "write")
+	fs, res, err := runChaos(t, 4, plan, 500*time.Millisecond, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if rep.Recomputes != 0 || rep.CheckpointRestores != 1 {
+		t.Errorf("report %v; want 0 recomputes, 1 restore", &rep)
+	}
+	if got := blockList(rep.RestoredBlocks); got != blockList([]int{0, 1, 2, 3}) {
+		t.Errorf("restored %v, want [0 1 2 3]", rep.RestoredBlocks)
+	}
+	got, err := fs.FS().Get("vol.msc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cleanBytes) {
+		t.Errorf("output differs from fault-free run (%d vs %d bytes)", len(got), len(cleanBytes))
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
+	}
+}
+
+// TestChaosLargeRankCheckpointSweep is the scale drill from the
+// ROADMAP: a 512-rank full merge under probabilistic message drops plus
+// a deliberate last-round crash, with checkpoints on. Recovery must
+// hold the result together at scale. Short mode (-short, the per-PR CI
+// run) shrinks the cluster to 64 ranks; the nightly workflow runs the
+// full width.
+func TestChaosLargeRankCheckpointSweep(t *testing.T) {
+	procs := 512
+	radices := []int{8, 8, 8}
+	if testing.Short() {
+		procs, radices = 64, []int{8, 8}
+	}
+	vol := synth.Sinusoid(17, 2)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: procs, Radices: radices, Persistence: 0.2,
+		CheckpointEvery: 1,
+	}
+	_, clean, err := runChaos(t, procs, nil, 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRound := len(radices) - 1
+	crash := 1
+	for _, r := range radices[:lastRound] {
+		crash *= r
+	}
+	plan := fault.NewPlan(77).
+		DropProbability(0.002).
+		CrashRank(crash, fmt.Sprintf("merge:%d", lastRound))
+	_, res, err := runChaos(t, procs, plan, 2*time.Second, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.FaultReport
+	if rep.RankCrashes != 1 {
+		t.Errorf("RankCrashes = %d, want 1", rep.RankCrashes)
+	}
+	if rep.CheckpointRestores < 1 {
+		t.Errorf("CheckpointRestores = %d, want >= 1", rep.CheckpointRestores)
+	}
+	if res.Nodes != clean.Nodes {
+		t.Errorf("nodes %v, fault-free %v", res.Nodes, clean.Nodes)
 	}
 }

@@ -56,6 +56,16 @@ type Params struct {
 	// plan, and plain blocking receives otherwise (the fault-free fast
 	// path).
 	MergeTimeout float64
+	// CheckpointEvery, when >= 1, makes merge-group roots persist their
+	// merged complex to the simulated filesystem after every
+	// CheckpointEvery-th round (PCSFM2-framed, CRC-verified), and makes
+	// fault recovery restore lost subtrees from the newest valid
+	// checkpoint instead of recomputing them from source data. 0
+	// disables checkpointing (the default).
+	CheckpointEvery int
+	// CheckpointDir is the checkpoint directory on the simulated
+	// filesystem; empty selects "ckpt".
+	CheckpointDir string
 	// Source, when non-nil, supplies each block's samples directly
 	// instead of reading File from storage — the in-situ mode of the
 	// paper's future work (section VII-B), where the simulation that
@@ -109,8 +119,9 @@ type Result struct {
 	Complexes map[int]*mscomplex.Complex
 	// FaultReport aggregates the fault events observed across all
 	// ranks: crashes survived, receive timeouts, corrupted payloads
-	// rejected, blocks lost and recovered, and I/O retries. It is
-	// zero-valued in a fault-free run.
+	// rejected, blocks lost and recovered (restored from checkpoint vs
+	// recomputed, with bytes read vs cells recomputed), and I/O
+	// retries. It is zero-valued in a fault-free run.
 	FaultReport fault.Report
 	// Trace is the per-rank span trace of the run and Metrics the
 	// metrics registry, echoed from the cluster's obs.Observer. Both
@@ -338,6 +349,9 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 
 	// --- Merge rounds (section IV-F) ---
 	mopts := merge.Options{Threshold: p.Persistence, Report: report}
+	if p.CheckpointEvery > 0 {
+		mopts.Checkpoint = &merge.Checkpoint{Dir: p.CheckpointDir, Every: p.CheckpointEvery}
+	}
 	if ft {
 		mopts.Timeout = vtime.Time(timeout)
 		mopts.Recompute = recomputeBlock(r, c, p, dec, report)
@@ -385,24 +399,26 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	// lists gathered at rank 0 and normalized there.
 	report.IORetries += int(r.IORetries())
 	agg := fault.Report{
-		RankCrashes: int(r.AllreduceFloat64(float64(report.RankCrashes), "sum")),
-		Timeouts:    int(r.AllreduceFloat64(float64(report.Timeouts), "sum")),
-		Corruptions: int(r.AllreduceFloat64(float64(report.Corruptions), "sum")),
-		Recomputes:  int(r.AllreduceFloat64(float64(report.Recomputes), "sum")),
-		IORetries:   int(r.AllreduceFloat64(float64(report.IORetries), "sum")),
+		RankCrashes:         int(r.AllreduceFloat64(float64(report.RankCrashes), "sum")),
+		Timeouts:            int(r.AllreduceFloat64(float64(report.Timeouts), "sum")),
+		Corruptions:         int(r.AllreduceFloat64(float64(report.Corruptions), "sum")),
+		Recomputes:          int(r.AllreduceFloat64(float64(report.Recomputes), "sum")),
+		RecomputeCells:      int64(r.AllreduceFloat64(float64(report.RecomputeCells), "sum")),
+		CheckpointRestores:  int(r.AllreduceFloat64(float64(report.CheckpointRestores), "sum")),
+		CheckpointBytesRead: int64(r.AllreduceFloat64(float64(report.CheckpointBytesRead), "sum")),
+		CheckpointFallbacks: int(r.AllreduceFloat64(float64(report.CheckpointFallbacks), "sum")),
+		IORetries:           int(r.AllreduceFloat64(float64(report.IORetries), "sum")),
 	}
 	var listMsg []byte
-	listMsg = appendU64(listMsg, uint64(len(report.LostBlocks)))
-	for _, b := range report.LostBlocks {
-		listMsg = appendU64(listMsg, uint64(b))
-	}
-	listMsg = appendU64(listMsg, uint64(len(report.RecoveredBlocks)))
-	for _, b := range report.RecoveredBlocks {
-		listMsg = appendU64(listMsg, uint64(b))
+	for _, list := range [][]int{report.LostBlocks, report.RecoveredBlocks, report.RestoredBlocks} {
+		listMsg = appendU64(listMsg, uint64(len(list)))
+		for _, b := range list {
+			listMsg = appendU64(listMsg, uint64(b))
+		}
 	}
 	for _, msg := range r.Gather(0, listMsg) {
 		o := 0
-		for _, dst := range []*[]int{&agg.LostBlocks, &agg.RecoveredBlocks} {
+		for _, dst := range []*[]int{&agg.LostBlocks, &agg.RecoveredBlocks, &agg.RestoredBlocks} {
 			n := int(u64At(msg, o))
 			o += 8
 			for j := 0; j < n; j++ {
@@ -485,6 +501,9 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 		w := field.Work
 		w.Add(compacted.Work)
 		r.Compute(w)
+		// The gradient cells live in field.Work, not the complex's
+		// ledger — record them here so the recompute budget is visible.
+		report.RecomputeCells += field.Work.CellsVisited
 		return compacted, nil
 	}
 }
@@ -492,7 +511,8 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 // writeOutput performs the collective write of surviving blocks plus the
 // footer, and returns the file size and index (index only on rank 0).
 // A surviving block missing from complexes (lost to a crash at the
-// write checkpoint) is rebuilt through mopts before serialization.
+// write checkpoint) is recovered through mopts — newest valid merge
+// checkpoint first, recompute fallback — before serialization.
 func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 	sched merge.Schedule, complexes map[int]*mscomplex.Complex, mopts merge.Options) (int64, []pario.IndexEntry, error) {
 
@@ -518,14 +538,14 @@ func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
 	for _, bid := range mine {
 		ms, ok := complexes[bid]
 		if !ok {
-			if mopts.Recompute == nil {
+			if mopts.Recompute == nil && mopts.Checkpoint == nil {
 				return 0, nil, fmt.Errorf("pipeline: rank %d missing surviving block %d", r.ID(), bid)
 			}
-			rebuilt, err := merge.Rebuild(r, sched, nblocks, bid, len(sched.Radices), mopts)
+			recovered, err := merge.Recover(r, sched, nblocks, bid, len(sched.Radices), mopts)
 			if err != nil {
-				return 0, nil, fmt.Errorf("pipeline: rebuild surviving block %d: %w", bid, err)
+				return 0, nil, fmt.Errorf("pipeline: recover surviving block %d: %w", bid, err)
 			}
-			ms = rebuilt
+			ms = recovered
 			complexes[bid] = ms
 		}
 		payload := ms.Serialize()

@@ -168,6 +168,17 @@ type Options struct {
 	// RecvGrace bounds the real (wall-clock) time a timed-out receive
 	// may wait for a message that never arrives (default 2s).
 	RecvGrace time.Duration
+	// CheckpointEvery, when >= 1, persists each merge-group root's
+	// post-round complex to the simulated filesystem every
+	// CheckpointEvery rounds (checksummed PCSFM2 frames), and fault
+	// recovery then restores lost subtrees from the newest valid
+	// checkpoint — a read — before falling back to recomputation (see
+	// FaultReport.CheckpointRestores vs Recomputes). 0 disables
+	// checkpointing.
+	CheckpointEvery int
+	// CheckpointDir is the checkpoint directory on the simulated
+	// filesystem (default "ckpt").
+	CheckpointDir string
 	// Trace enables per-rank span tracing and the metrics registry.
 	// The run then populates Result.Trace and Result.Metrics; export
 	// them with WriteChromeTrace / WritePrometheus. When false (the
@@ -256,15 +267,17 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 	cluster.FS().Put("volume.raw", vol.Bytes())
 	lo, hi := vol.Range()
 	res, err := pipeline.Run(cluster, pipeline.Params{
-		File:          "volume.raw",
-		Dims:          vol.Dims,
-		DType:         vol.DType,
-		Blocks:        blocks,
-		Radices:       radices,
-		Persistence:   float32(opt.Persistence * float64(hi-lo)),
-		KeepComplexes: true,
-		Measured:      opt.Measured,
-		MergeTimeout:  opt.MergeTimeout,
+		File:            "volume.raw",
+		Dims:            vol.Dims,
+		DType:           vol.DType,
+		Blocks:          blocks,
+		Radices:         radices,
+		Persistence:     float32(opt.Persistence * float64(hi-lo)),
+		KeepComplexes:   true,
+		Measured:        opt.Measured,
+		MergeTimeout:    opt.MergeTimeout,
+		CheckpointEvery: opt.CheckpointEvery,
+		CheckpointDir:   opt.CheckpointDir,
 	})
 	if err != nil {
 		return nil, err
@@ -323,14 +336,16 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		return nil, err
 	}
 	res, err := pipeline.Run(cluster, pipeline.Params{
-		File:          "in-situ",
-		Dims:          dims,
-		Blocks:        blocks,
-		Radices:       radices,
-		Persistence:   float32(opt.Persistence * float64(rangeHi-rangeLo)),
-		KeepComplexes: true,
-		Measured:      opt.Measured,
-		MergeTimeout:  opt.MergeTimeout,
+		File:            "in-situ",
+		Dims:            dims,
+		Blocks:          blocks,
+		Radices:         radices,
+		Persistence:     float32(opt.Persistence * float64(rangeHi-rangeLo)),
+		KeepComplexes:   true,
+		Measured:        opt.Measured,
+		MergeTimeout:    opt.MergeTimeout,
+		CheckpointEvery: opt.CheckpointEvery,
+		CheckpointDir:   opt.CheckpointDir,
 		Source: func(b grid.Block) (*Volume, error) {
 			return source(b.Lo, b.Hi), nil
 		},
