@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race chaos chaos-nightly fuzz vet trace bench benchgate microbench clean
+.PHONY: all build test race race-short chaos chaos-nightly fuzz vet msvet lint trace bench benchgate microbench clean
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The PR-budget race pass CI runs on every pull request: the full test
+# surface under the race detector, with -short trimming the large-rank
+# sweeps and the whole-module type-check the full `make race` keeps.
+race-short:
+	$(GO) test -race -short ./...
 
 # The chaos suite: every fault-injection and recovery test (rank
 # crashes, dropped/corrupted/duplicated payloads, flaky storage,
@@ -33,8 +39,26 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzChaosUnframe -fuzztime 30s ./internal/merge/
 	$(GO) test -run '^$$' -fuzz FuzzChaosDecodeCheckpoint -fuzztime 30s ./internal/pario/
 
+# Standard vet plus the repo's own invariant multichecker (cmd/msvet,
+# DESIGN §11): wallclock, maporder, collective, droppederr, rawframe.
+# msvet exits non-zero on any finding or on a malformed/stale
+# //msvet:allow annotation.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/msvet ./...
+
+msvet:
+	$(GO) run ./cmd/msvet ./...
+
+# The lint umbrella mirrors exactly what the CI lint job enforces:
+# formatting, go vet, and the msvet invariant suite.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/msvet ./...
 
 # One small traced pipeline run: generate a sinusoid volume, run msc
 # with tracing and metrics on 16 ranks, then validate the trace JSON

@@ -1,0 +1,126 @@
+// Command msvet is the repo's invariant multichecker: five static
+// analyzers that make the determinism and collective-ordering bug
+// classes unrepresentable (DESIGN §11). It loads every non-test package
+// of the module from source — no go command, no network — runs the
+// suite, and exits non-zero when any finding (or a malformed or stale
+// //msvet:allow annotation) survives.
+//
+// Usage:
+//
+//	msvet [-run wallclock,maporder,...] [-list] [packages]
+//
+// Package arguments are import paths or the ./... pattern; with none,
+// the whole module is checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parms/internal/msvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: msvet [-run names] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range msvet.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range msvet.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := msvet.Analyzers()
+	full := true
+	if *run != "" {
+		full = false
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range msvet.Analyzers() {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "msvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, modPath, err := msvet.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := msvet.NewLoader(modRoot, modPath)
+
+	var paths []string
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.ModulePackages()
+			if err != nil {
+				fatal(err)
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(arg, "./"):
+			rel := strings.TrimPrefix(arg, "./")
+			if rel == "" || rel == "." {
+				paths = append(paths, modPath)
+			} else {
+				paths = append(paths, modPath+"/"+rel)
+			}
+		default:
+			paths = append(paths, arg)
+		}
+	}
+
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		// Allow hygiene (justification present, annotation still live)
+		// is only decidable when the full suite runs: a subset run
+		// cannot tell a stale annotation from one whose analyzer was
+		// simply not selected.
+		findings, err := msvet.RunPackage(pkg, analyzers, full)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s\n", f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
+	os.Exit(2)
+}

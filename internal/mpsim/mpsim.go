@@ -412,6 +412,7 @@ func (mb *mailbox) takeDeadline(src, tag int, deadline vtime.Time, grace time.Du
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	expired := false
+	//msvet:allow wallclock: the real-time grace only bounds waits for messages that never arrive; delivered messages are judged purely by virtual arrival stamps (DESIGN §8)
 	timer := time.AfterFunc(grace, func() {
 		mb.mu.Lock()
 		expired = true

@@ -1,0 +1,159 @@
+package msvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// collectiveMethods are the mpsim.Rank operations every rank must enter
+// in the same order: the blocking collectives plus collective IO. A
+// call reached by only some ranks deadlocks the cluster or silently
+// mismatches payloads — the MPI collective-matching rule the paper's
+// merge inherits (Gyulassy et al. 2012 §4).
+var collectiveMethods = map[string]bool{
+	"Barrier": true, "Bcast": true,
+	"ReduceFloat64": true, "ReduceInt64": true,
+	"AllreduceFloat64": true, "AllreduceMaxTime": true,
+	"Gather": true, "AllgatherInt64": true,
+	"Scatter": true, "Alltoall": true,
+	"CollectiveWrite": true, "CollectiveRead": true,
+}
+
+// CollectiveAnalyzer flags mpsim collective calls lexically inside a
+// branch whose condition depends on the rank identity (Rank.ID or the
+// rank id field). Root-only work is fine — but the collective itself
+// must sit outside the branch, as writeOutput's footer round does:
+// compute under `if r.ID() == 0`, then CollectiveWrite unconditionally.
+var CollectiveAnalyzer = &Analyzer{
+	Name: "collective",
+	Doc: "flags mpsim collectives (Barrier, Gather, Alltoall, collective IO, ...) inside " +
+		"rank-conditional branches, the classic mismatched-collective deadlock",
+	Run: runCollective,
+}
+
+func runCollective(pass *Pass) error {
+	funcDecls(pass.Files, func(body *ast.BlockStmt) {
+		tainted := rankTaintedIdents(pass, body)
+		rankDep := func(e ast.Expr) bool {
+			if e == nil {
+				return false
+			}
+			return containsMatch(e, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if name, ok := methodOn(pass.Info, n, mpsimPath, "Rank"); ok && name == "ID" {
+						return true
+					}
+				case *ast.SelectorExpr:
+					// The unexported id field, reachable inside mpsim
+					// itself where the same discipline applies.
+					if n.Sel.Name == "id" {
+						if tv, ok := pass.Info.Types[n.X]; ok && typeIsNamed(tv.Type, mpsimPath, "Rank") {
+							return true
+						}
+					}
+				case *ast.Ident:
+					if obj := objOf(pass.Info, n); obj != nil && tainted[obj] {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		var walk func(n ast.Node, inRankBranch bool)
+		walkBody := func(n ast.Node, flag bool) {
+			if n != nil {
+				walk(n, flag)
+			}
+		}
+		walk = func(n ast.Node, inRankBranch bool) {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				walkBody(n.Init, inRankBranch)
+				cond := inRankBranch || rankDep(n.Cond)
+				walkBody(n.Body, cond)
+				walkBody(n.Else, cond)
+				return
+			case *ast.SwitchStmt:
+				walkBody(n.Init, inRankBranch)
+				cond := inRankBranch || rankDep(n.Tag)
+				if !cond {
+					for _, cc := range n.Body.List {
+						for _, e := range cc.(*ast.CaseClause).List {
+							if rankDep(e) {
+								cond = true
+							}
+						}
+					}
+				}
+				walkBody(n.Body, cond)
+				return
+			case *ast.CallExpr:
+				if name, ok := methodOn(pass.Info, n, mpsimPath, "Rank"); ok && collectiveMethods[name] && inRankBranch {
+					pass.Reportf(n.Pos(),
+						"collective %s inside a rank-conditional branch: ranks taking the other path never enter it and the cluster deadlocks; hoist the collective out of the branch",
+						name)
+				}
+			}
+			// Generic descent preserving the current flag.
+			children(n, func(c ast.Node) { walk(c, inRankBranch) })
+		}
+		walk(body, false)
+	})
+	return nil
+}
+
+// children invokes f once for each immediate-enough child of n, by
+// reusing ast.Inspect and stopping below the first level. ast.Inspect
+// has no native one-level iterator, so we track the root.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		f(c)
+		return false
+	})
+}
+
+// rankTaintedIdents collects objects assigned (directly) from a
+// rank-identity expression in this function: `root := r.ID() == 0`,
+// `id := r.ID()`, and the like. One step of flow covers every idiom in
+// the codebase; deeper laundering still fails at runtime in the chaos
+// suite, this analyzer only makes the common class unrepresentable.
+func rankTaintedIdents(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	isRankID := func(e ast.Expr) bool {
+		return containsMatch(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			name, ok := methodOn(pass.Info, call, mpsimPath, "Rank")
+			return ok && name == "ID"
+		})
+	}
+	tainted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if !isRankID(rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				if obj := objOf(pass.Info, id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}

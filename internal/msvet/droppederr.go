@@ -1,0 +1,95 @@
+package msvet
+
+import (
+	"go/ast"
+)
+
+// faultCarrying maps the mpsim.Rank methods whose trailing result
+// carries fault accounting to a short description of what discarding it
+// loses. TrySend/TryRecv/Independent* return the error that feeds the
+// fault report; RecvTimeout's trailing ok distinguishes a delivered
+// payload from a timed-out one — ignoring it deserializes garbage.
+var faultCarrying = map[string]string{
+	"TrySend":          "the send error feeds fault-report accounting",
+	"TryRecv":          "the receive error feeds fault-report accounting",
+	"RecvTimeout":      "the ok result distinguishes delivery from timeout",
+	"IndependentWrite": "the write error decides checkpoint validity",
+	"IndependentRead":  "the read error decides checkpoint validity",
+}
+
+// DroppederrAnalyzer flags calls to the fault-tolerant mpsim primitives
+// whose trailing error/ok result is discarded: as an expression
+// statement, under go/defer, or assigned to the blank identifier.
+var DroppederrAnalyzer = &Analyzer{
+	Name: "droppederr",
+	Doc: "flags discarded errors/ok results from TrySend/TryRecv/RecvTimeout/" +
+		"IndependentWrite/IndependentRead; these carry the fault-report accounting",
+	Run: runDroppederr,
+}
+
+func runDroppederr(pass *Pass) error {
+	// faultCall resolves a call to one of the guarded methods.
+	faultCall := func(e ast.Expr) (*ast.CallExpr, string, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, "", false
+		}
+		name, ok := methodOn(pass.Info, call, mpsimPath, "Rank")
+		if !ok {
+			return nil, "", false
+		}
+		why, guarded := faultCarrying[name]
+		if !guarded {
+			return nil, "", false
+		}
+		return call, name + ": " + why, true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, why, ok := faultCall(n.X); ok {
+					pass.Reportf(call.Pos(), "result discarded: %s", why)
+				}
+			case *ast.GoStmt:
+				if call, why, ok := faultCall(n.Call); ok {
+					pass.Reportf(call.Pos(), "result discarded by go statement: %s", why)
+				}
+			case *ast.DeferStmt:
+				if call, why, ok := faultCall(n.Call); ok {
+					pass.Reportf(call.Pos(), "result discarded by defer: %s", why)
+				}
+			case *ast.AssignStmt:
+				// Single multi-value call: the trailing result position
+				// must not be the blank identifier.
+				if len(n.Rhs) != 1 {
+					for _, rhs := range n.Rhs {
+						// 1:1 assignments: single-result methods only.
+						if call, why, ok := faultCall(rhs); ok {
+							// Position i corresponds 1:1; find it.
+							for i, r := range n.Rhs {
+								if r != rhs {
+									continue
+								}
+								if id, isID := ast.Unparen(n.Lhs[i]).(*ast.Ident); isID && id.Name == "_" {
+									pass.Reportf(call.Pos(), "result assigned to _: %s", why)
+								}
+							}
+						}
+					}
+					return true
+				}
+				call, why, ok := faultCall(n.Rhs[0])
+				if !ok {
+					return true
+				}
+				last := n.Lhs[len(n.Lhs)-1]
+				if id, isID := ast.Unparen(last).(*ast.Ident); isID && id.Name == "_" {
+					pass.Reportf(call.Pos(), "trailing result assigned to _: %s", why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

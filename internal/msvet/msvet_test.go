@@ -1,0 +1,194 @@
+package msvet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader returns a fresh loader rooted at the real module, so
+// fixtures can import parms/internal/mpsim and friends.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, modPath)
+}
+
+// checkFixture runs one analyzer fixture and fails on any mismatch
+// between findings and the fixture's want markers.
+func checkFixture(t *testing.T, dir, asPath string, analyzers []*Analyzer, checkAllows bool) {
+	t.Helper()
+	problems, err := CheckFixture(fixtureLoader(t), filepath.Join("testdata", dir), asPath, analyzers, checkAllows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// The per-analyzer regression tests. Each fixture contains both
+// violations (want markers) and the neighboring legal idiom, so a
+// regression in either direction — missed finding or false positive —
+// fails.
+
+func TestWallclockFixture(t *testing.T) {
+	// A deterministic package path so the analyzer applies.
+	checkFixture(t, "wallclock", "parms/internal/merge", []*Analyzer{WallclockAnalyzer}, false)
+}
+
+func TestWallclockSkipsNondeterministicPackages(t *testing.T) {
+	// The same fixture under a non-deterministic path must be silent:
+	// experiments and synth may seed from anything they like.
+	l := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "wallclock"), "parms/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(p, []*Analyzer{WallclockAnalyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("wallclock ran outside deterministic packages: %v", findings)
+	}
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checkFixture(t, "maporder", "parms/internal/mscomplex", []*Analyzer{MaporderAnalyzer}, false)
+}
+
+func TestCollectiveFixture(t *testing.T) {
+	checkFixture(t, "collective", "parms/internal/pipeline", []*Analyzer{CollectiveAnalyzer}, false)
+}
+
+func TestDroppederrFixture(t *testing.T) {
+	checkFixture(t, "droppederr", "parms/internal/pipeline", []*Analyzer{DroppederrAnalyzer}, false)
+}
+
+func TestRawframeFixture(t *testing.T) {
+	checkFixture(t, "rawframe", "parms/internal/pipeline", []*Analyzer{RawframeAnalyzer}, false)
+}
+
+func TestRawframeExemptInFramingPackages(t *testing.T) {
+	l := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "rawframe"), "parms/internal/pario")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(p, []*Analyzer{RawframeAnalyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("rawframe ran inside a framing package: %v", findings)
+	}
+}
+
+// TestAllowGrammar checks the escape-hatch lifecycle: justified
+// annotations suppress, unjustified/unknown/stale ones are findings.
+func TestAllowGrammar(t *testing.T) {
+	checkFixture(t, "allow", "parms/internal/merge", Analyzers(), true)
+}
+
+// TestCleanModule is the end-to-end multichecker test: the full suite
+// over a known-clean mini-module must report nothing. If an analyzer
+// breaks in the flag-everything direction this fails; if one breaks in
+// the flag-nothing direction the per-analyzer fixture tests fail — so a
+// broken analyzer can never pass silently.
+func TestCleanModule(t *testing.T) {
+	l := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "clean"), "parms/internal/merge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(p, Analyzers(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("clean module flagged: %s", f)
+	}
+}
+
+// TestRepoIsClean runs the full suite over every package of the module,
+// exactly as `make vet` does: the repo must stay clean, and every
+// annotation must stay justified and live. This is the regression test
+// that catches a new violation (or annotation drift) at `go test` time,
+// before CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("module enumeration found only %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := RunPackage(p, Analyzers(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs wired: names are the allow
+// grammar's vocabulary, so they must be stable and non-empty.
+func TestAnalyzerMetadata(t *testing.T) {
+	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+		if byName(a.Name) != a {
+			t.Errorf("byName(%q) does not resolve", a.Name)
+		}
+	}
+	if byName("nope") != nil {
+		t.Error("byName resolves an unknown analyzer")
+	}
+}
+
+// TestModulePackagesSkipsTestdata guards the enumerator against walking
+// fixtures or hidden directories into the analysis set.
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("enumeration includes fixture package %s", p)
+		}
+	}
+}

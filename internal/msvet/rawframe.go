@@ -1,0 +1,105 @@
+package msvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RawframeAnalyzer flags raw encoding/binary stream IO and manual
+// length-prefix framing outside the framing packages (internal/pario,
+// internal/serial). Every byte that reaches disk must pass through the
+// PCSFM2 CRC framing, or corruption detection and checkpoint recovery
+// (DESIGN §10) silently lose coverage. Two patterns are flagged:
+//
+//   - binary.Write / binary.Read: unframed stream encoding straight to
+//     an io.Writer/Reader;
+//   - binary.<order>.PutUintN / AppendUintN whose value argument takes
+//     len(...) of something — a hand-rolled length prefix, the start of
+//     an ad-hoc frame.
+//
+// In-memory number packing (PutUint64 of float bits, message field
+// packing) is untouched: no len() in the value position.
+var RawframeAnalyzer = &Analyzer{
+	Name: "rawframe",
+	Doc: "flags encoding/binary stream IO and manual length-prefix framing outside " +
+		"internal/pario and internal/serial; on-disk bytes stay behind the CRC framing",
+	Applies: func(pkgPath string) bool { return !framingPkgs[pkgPath] },
+	Run:     runRawframe,
+}
+
+// binaryByteOrderWriters are the ByteOrder/AppendByteOrder methods that
+// lay down bytes; a len() in their value argument marks a length prefix.
+func isBinaryPutOrAppend(name string) bool {
+	return (strings.HasPrefix(name, "PutUint") || strings.HasPrefix(name, "AppendUint")) ||
+		name == "PutVarint" || name == "PutUvarint" ||
+		name == "AppendVarint" || name == "AppendUvarint"
+}
+
+func runRawframe(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := pkgFunc(pass.Info, call); pkg == "encoding/binary" {
+				switch name {
+				case "Write", "Read":
+					pass.Reportf(call.Pos(),
+						"binary.%s streams unframed bytes in %s; encode through internal/pario's CRC framing instead",
+						name, pass.Pkg.Path())
+				case "PutVarint", "PutUvarint", "AppendVarint", "AppendUvarint":
+					if valueArgsTakeLen(call, 1) {
+						pass.Reportf(call.Pos(),
+							"binary.%s of a len(...) builds a manual length prefix in %s; frame payloads through internal/pario",
+							name, pass.Pkg.Path())
+					}
+				}
+				return true
+			}
+			// Methods on binary.LittleEndian / binary.BigEndian /
+			// the Append variants.
+			sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			if name, ok := binaryOrderMethod(pass, sel); ok && isBinaryPutOrAppend(name) {
+				if valueArgsTakeLen(call, 1) {
+					pass.Reportf(call.Pos(),
+						"%s of a len(...) builds a manual length prefix in %s; frame payloads through internal/pario's CRC framing",
+						name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// binaryOrderMethod reports whether sel resolves to a method declared
+// in encoding/binary (the ByteOrder implementations' Put/Append set).
+func binaryOrderMethod(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// valueArgsTakeLen reports whether any argument from index from onward
+// contains a call to the builtin len.
+func valueArgsTakeLen(call *ast.CallExpr, from int) bool {
+	for i := from; i < len(call.Args); i++ {
+		if containsMatch(call.Args[i], func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+			return ok && id.Name == "len"
+		}) {
+			return true
+		}
+	}
+	return false
+}

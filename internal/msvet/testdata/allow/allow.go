@@ -1,0 +1,30 @@
+// Fixture for the //msvet:allow annotation grammar: justified
+// annotations suppress, unjustified or unknown ones are themselves
+// findings, and stale annotations (suppressing nothing) are flagged so
+// escape hatches cannot outlive the code they excused. Type-checked
+// under a deterministic path so wallclock applies.
+package allow
+
+import "time"
+
+func suppressedInline() {
+	_ = time.Now() //msvet:allow wallclock: fixture needs a suppressed site
+}
+
+func suppressedAbove() {
+	//msvet:allow wallclock: annotation on its own line covers the next one
+	_ = time.Now()
+}
+
+func unjustified() {
+	//msvet:allow wallclock // want `msvet:allow: allow wallclock carries no justification`
+	_ = time.Now() // want `wallclock: time\.Now reads the host clock`
+}
+
+func unknownAnalyzer() {
+	//msvet:allow clockwall: no such analyzer // want `msvet:allow: annotation names unknown analyzer "clockwall"`
+	_ = time.Now() // want `wallclock: time\.Now reads the host clock`
+}
+
+//msvet:allow wallclock: nothing on the next line violates anything // want `msvet:allow: allow wallclock suppresses nothing`
+func stale() {}

@@ -1,0 +1,73 @@
+// Fixture for the collective analyzer: mpsim collectives inside
+// rank-conditional branches. Imports the real substrate so the
+// analyzer's type resolution is exercised against the true Rank type.
+package collective
+
+import "parms/internal/mpsim"
+
+func badDirect(r *mpsim.Rank) {
+	if r.ID() == 0 {
+		r.Barrier() // want `collective: collective Barrier inside a rank-conditional branch`
+	}
+}
+
+func badElse(r *mpsim.Rank, data []byte) {
+	if r.ID() != 0 {
+		r.Send(0, 1, data) // point-to-point: legal anywhere
+	} else {
+		_ = r.Gather(0, data) // want `collective: collective Gather inside a rank-conditional branch`
+	}
+}
+
+func badTainted(r *mpsim.Rank) {
+	root := r.ID() == 0
+	if root {
+		r.Barrier() // want `collective: collective Barrier inside a rank-conditional branch`
+	}
+}
+
+func badNested(r *mpsim.Rank, n int) {
+	if n > 4 {
+		if id := r.ID(); id < n/2 {
+			for i := 0; i < n; i++ {
+				_ = r.AllreduceFloat64(1.0, "sum") // want `collective: collective AllreduceFloat64 inside a rank-conditional branch`
+			}
+		}
+	}
+}
+
+func badSwitch(r *mpsim.Rank) {
+	switch r.ID() {
+	case 0:
+		r.Barrier() // want `collective: collective Barrier inside a rank-conditional branch`
+	}
+}
+
+func badCollectiveIO(r *mpsim.Rank, data []byte) error {
+	if r.ID() == 0 {
+		return r.CollectiveWrite("out", 0, data) // want `collective: collective CollectiveWrite inside a rank-conditional branch`
+	}
+	return nil
+}
+
+func goodHoisted(r *mpsim.Rank, data []byte) error {
+	// The writeOutput pattern: root-only computation in the branch,
+	// the collective itself outside — every rank enters it.
+	var payload []byte
+	if r.ID() == 0 {
+		payload = data
+	}
+	return r.CollectiveWrite("out", 0, payload)
+}
+
+func goodUnconditional(r *mpsim.Rank) {
+	r.Barrier()
+	_ = r.AllreduceMaxTime()
+}
+
+func goodSizeBranch(r *mpsim.Rank, n int) {
+	// Branching on cluster size is uniform across ranks: legal.
+	if r.Size() > n {
+		r.Barrier()
+	}
+}

@@ -1,0 +1,43 @@
+// Fixture for the droppederr analyzer: discarded errors/ok results
+// from the fault-tolerant mpsim primitives.
+package droppederr
+
+import (
+	"parms/internal/mpsim"
+	"parms/internal/vtime"
+)
+
+func badExprStmt(r *mpsim.Rank, data []byte) {
+	r.TrySend(1, 7, data)            // want `droppederr: result discarded: TrySend`
+	r.IndependentWrite("f", 0, data) // want `droppederr: result discarded: IndependentWrite`
+}
+
+func badBlank(r *mpsim.Rank, data []byte) {
+	_ = r.TrySend(1, 7, data)                    // want `droppederr: trailing result assigned to _: TrySend`
+	payload, src, _ := r.TryRecv(0, 7)           // want `droppederr: trailing result assigned to _: TryRecv`
+	_, _, _ = r.RecvTimeout(0, 7, vtime.Time(1)) // want `droppederr: trailing result assigned to _: RecvTimeout`
+	_, _ = r.IndependentRead("f", 0, 8)          // want `droppederr: trailing result assigned to _: IndependentRead`
+	_, _ = payload, src
+}
+
+func badDefer(r *mpsim.Rank, data []byte) {
+	defer r.TrySend(1, 7, data) // want `droppederr: result discarded by defer: TrySend`
+}
+
+func goodHandled(r *mpsim.Rank, data []byte) error {
+	if err := r.TrySend(1, 7, data); err != nil {
+		return err
+	}
+	payload, _, ok := r.RecvTimeout(0, 7, vtime.Time(1)) // middle result may be blank: the ok is what counts
+	if !ok {
+		return nil
+	}
+	_ = payload
+	return r.IndependentWrite("f", 0, data)
+}
+
+func goodSendPanics(r *mpsim.Rank, data []byte) {
+	// Send panics on misuse instead of returning an error: nothing to
+	// discard, legal as a statement.
+	r.Send(1, 7, data)
+}

@@ -1,0 +1,91 @@
+// Fixture for the maporder analyzer: map iteration whose order escapes
+// into slices, writers, hashes, or channels.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `maporder: append to "keys" inside map iteration`
+	}
+	return keys
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: legal
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k) // sorted below via sort.Slice: legal
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func badWriter(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `maporder: .*WriteString inside map iteration streams bytes`
+	}
+}
+
+func badHash(m map[string][]byte) uint32 {
+	h := crc32.NewIEEE()
+	for _, v := range m {
+		h.Write(v) // want `maporder: .*Write inside map iteration streams bytes`
+	}
+	return h.Sum32()
+}
+
+func badFprintf(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want `maporder: fmt\.Fprintf inside map iteration streams output`
+	}
+}
+
+func badChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `maporder: channel send inside map iteration`
+	}
+}
+
+func goodAggregate(m map[string]int) int {
+	// Order-independent reduction: no sink, no finding.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func goodLoopLocal(m map[string][]int) int {
+	// Appending to a loop-local slice cannot leak iteration order.
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func goodBuildMap(m map[string]int) map[int]string {
+	// Writing another map is order-independent.
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

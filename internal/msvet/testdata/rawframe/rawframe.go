@@ -1,0 +1,41 @@
+// Fixture for the rawframe analyzer: raw encoding/binary stream IO and
+// hand-rolled length-prefix framing outside the framing packages. The
+// harness type-checks this under a non-framing path.
+package rawframe
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+func badStreamWrite(buf *bytes.Buffer, v uint64) error {
+	return binary.Write(buf, binary.LittleEndian, v) // want `rawframe: binary\.Write streams unframed bytes`
+}
+
+func badStreamRead(buf *bytes.Buffer, v *uint64) error {
+	return binary.Read(buf, binary.LittleEndian, v) // want `rawframe: binary\.Read streams unframed bytes`
+}
+
+func badLengthPrefix(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload))) // want `rawframe: PutUint32 of a len\(\.\.\.\) builds a manual length prefix`
+	copy(out[4:], payload)
+	return out
+}
+
+func badAppendPrefix(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(payload))) // want `rawframe: AppendUint64 of a len\(\.\.\.\) builds a manual length prefix`
+	return append(dst, payload...)
+}
+
+func goodFieldPacking(x uint64) []byte {
+	// Packing a number is not framing: no len() in the value position.
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, x)
+	return buf
+}
+
+func goodDecode(b []byte) uint32 {
+	// Reads don't lay down on-disk bytes.
+	return binary.LittleEndian.Uint32(b)
+}

@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer. Type-checked under a
+// deterministic package path (parms/internal/merge) by the test
+// harness, so the analyzer applies.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badTime() {
+	_ = time.Now()                         // want `wallclock: time\.Now reads the host clock`
+	time.Sleep(time.Second)                // want `wallclock: time\.Sleep reads the host clock`
+	_ = time.Since(time.Time{})            // want `wallclock: time\.Since reads the host clock`
+	_ = time.After(time.Second)            // want `wallclock: time\.After reads the host clock`
+	time.AfterFunc(time.Second, func() {}) // want `wallclock: time\.AfterFunc reads the host clock`
+	_ = time.NewTimer(time.Second)         // want `wallclock: time\.NewTimer reads the host clock`
+}
+
+func badRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `wallclock: rand\.Shuffle draws from the global wall-seeded source`
+	return rand.Intn(7)                // want `wallclock: rand\.Intn draws from the global wall-seeded source`
+}
+
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded: legal
+	return rng.Float64()                  // method on *rand.Rand: legal
+}
+
+func goodConstants() time.Duration {
+	// Duration arithmetic never reads the clock.
+	return 2 * time.Second
+}
+
+func allowed() {
+	//msvet:allow wallclock: fixture exercises the annotation path
+	_ = time.Now()
+}

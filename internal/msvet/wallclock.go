@@ -1,0 +1,64 @@
+package msvet
+
+import (
+	"go/ast"
+)
+
+// wallclockTimeFuncs are the package time entry points that read or
+// wait on the host clock. Constructors of timers are included: any
+// real-time timer on a simulated path breaks same-seed replay.
+var wallclockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// wallclockRandOK are the math/rand (and v2) package-level functions
+// that do NOT draw from the process-global, wall-seeded source; they
+// construct explicitly seeded generators and stay legal.
+var wallclockRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// WallclockAnalyzer flags host-clock reads and unseeded global
+// randomness inside the deterministic packages. Everything on the
+// simulated path must derive from inputs, seeds, and virtual time
+// (vtime), or same-seed runs stop being byte-identical. The one
+// legitimate exception — the real-time grace bounding RecvTimeout's
+// wait for messages that will never arrive — carries a justified
+// //msvet:allow wallclock annotation.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/Sleep/timers and unseeded math/rand in deterministic packages; " +
+		"simulated paths must depend only on inputs, seeds, and virtual time",
+	Applies: func(pkgPath string) bool { return deterministicPkgs[pkgPath] },
+	Run:     runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFunc(pass.Info, call)
+			switch pkg {
+			case "time":
+				if wallclockTimeFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the host clock in deterministic package %s; use virtual time (vtime) or annotate the real-time escape hatch",
+						name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandOK[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global wall-seeded source in deterministic package %s; use rand.New(rand.NewSource(seed))",
+						name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
