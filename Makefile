@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-short chaos chaos-nightly fuzz vet msvet lint trace bench benchgate microbench clean
+.PHONY: all build test race race-short chaos chaos-nightly fuzz vet msvet lint trace insight bench benchgate microbench clean
 
 all: lint build test
 
@@ -69,6 +69,14 @@ trace:
 	$(GO) run ./cmd/msc -in /tmp/parms-trace.raw -dims 33x33x33 -procs 16 -merge full \
 		-trace trace.json -metrics metrics.prom -out /tmp/parms-trace.msc
 	$(GO) run ./cmd/tracecheck trace.json
+
+# Trace analytics over the canned traced run: critical path, straggler
+# flags, per-round merge attribution, and the tuning recommendation —
+# printed as the human table and written as the machine-readable
+# insight.json artifact (byte-identical across same-trace runs).
+insight: trace
+	$(GO) run ./cmd/msinsight -trace trace.json -metrics metrics.prom
+	$(GO) run ./cmd/msinsight -trace trace.json -metrics metrics.prom -json > insight.json
 
 # Traced strong-scaling sweep; writes a BENCH_<timestamp>.json snapshot
 # with per-stage times, imbalance ratios, and communication volumes.

@@ -1,8 +1,11 @@
 // Command benchdiff gates a fresh bench sweep against a committed
-// baseline snapshot. The virtual cluster is deterministic, so
-// communication volume, peak payload and output complex sizes must
-// match the baseline byte for byte; modeled per-stage times may only
-// regress within a tolerance (improvements always pass).
+// baseline snapshot. It first prints a human-readable delta table
+// (per-stage modeled times, communication volume, peak merge payload;
+// baseline → fresh with the relative change), then applies the gate:
+// the virtual cluster is deterministic, so communication volume, peak
+// payload and output complex sizes must match the baseline byte for
+// byte; modeled per-stage times may only regress within a tolerance
+// (improvements always pass).
 //
 // Usage:
 //
@@ -55,6 +58,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: fresh: %v\n", err)
 		os.Exit(2)
 	}
+
+	fmt.Printf("bench delta: %s vs baseline %s\n", *fresh, *baseline)
+	experiments.WriteBenchDelta(os.Stdout, base, got)
+	fmt.Println()
 
 	violations := experiments.CompareBench(base, got, *tol)
 	if len(violations) > 0 {

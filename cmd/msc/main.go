@@ -15,7 +15,10 @@
 // run (one track per rank, virtual-time spans for every stage, fault
 // events as instants) and prints a per-stage summary table; -metrics
 // out.prom writes a Prometheus-style text dump of the run's counters,
-// gauges and histograms.
+// gauges and histograms; -events out.jsonl streams structured run
+// events (log/slog JSON, virtual-time stamped); -listen :9151 serves
+// live introspection over HTTP (/healthz, /metrics, /trace, /insight,
+// /debug/pprof) for the duration of the run.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"parms/internal/merge"
 	"parms/internal/mpsim"
 	"parms/internal/obs"
+	"parms/internal/obs/analyze"
 	"parms/internal/pipeline"
 )
 
@@ -45,6 +49,8 @@ func main() {
 	measured := flag.Bool("measured", false, "report real wall-clock compute times instead of modeled Blue Gene/P times")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-style text dump of the run's metrics")
+	eventsOut := flag.String("events", "", "write structured run events (slog JSON lines, virtual-time stamped)")
+	listen := flag.String("listen", "", `serve live introspection over HTTP during the run (e.g. ":9151" or ":0")`)
 	ckpt := flag.Int("ckpt", 0, "checkpoint merge state every N rounds (0 = off); recovery restores from the newest valid checkpoint before recomputing")
 	ckptDir := flag.String("ckptdir", "ckpt", "checkpoint directory on the simulated filesystem")
 	flag.Parse()
@@ -75,8 +81,28 @@ func main() {
 	}
 
 	var ob *obs.Observer
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *eventsOut != "" || *listen != "" {
 		ob = obs.New(*procs)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		ob.Log = obs.NewJSONLogger(f)
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, ob, analyze.Handler(ob, analyze.Config{Blocks: nblocks, Radices: radices}))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("listening  http://%s (/healthz /metrics /trace /insight /debug/pprof)\n", srv.Addr())
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "msc: introspection server: %v\n", err)
+			}
+		}()
 	}
 	cluster, err := mpsim.New(mpsim.Config{Procs: *procs, MaxParallel: *parallel, Obs: ob})
 	if err != nil {

@@ -1,0 +1,101 @@
+// Command msinsight analyzes a run's exported observability artifacts:
+// the Chrome-trace JSON written by msc -trace (or scraped from a live
+// run's /trace endpoint) and, optionally, the Prometheus metrics dump
+// from msc -metrics. It reports the critical path through the merge
+// reduction tree, per-stage straggler flags with imbalance scores,
+// per-round merge attribution (serialize / glue / simplify / wait
+// time, payload growth), fault counts, and a deterministic tuning
+// recommendation (merge radix schedule, block count, ranks to remap
+// around).
+//
+// Usage:
+//
+//	msinsight -trace trace.json [-metrics metrics.prom] [-json]
+//
+// Block count and merge radices are normally inferred from the trace;
+// -blocks and -radices override the inference for traces recorded
+// without merge rounds. Output is a human-readable report by default;
+// -json switches to the machine-readable form, which is byte-identical
+// across runs of the same trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parms/internal/obs/analyze"
+)
+
+func main() {
+	traceIn := flag.String("trace", "", "Chrome-trace JSON file of the run (required; from msc -trace or /trace)")
+	metricsIn := flag.String("metrics", "", "Prometheus metrics dump of the run (optional; from msc -metrics or /metrics)")
+	blocks := flag.Int("blocks", 0, "override the decomposition block count (0 = infer from the trace)")
+	radicesFlag := flag.String("radices", "", `override the merge radix schedule, e.g. "4,8" (default: infer from the trace)`)
+	madk := flag.Float64("madk", 0, "straggler threshold multiplier on the MAD (0 = default 4)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report instead of the text rendering")
+	flag.Parse()
+
+	if *traceIn == "" {
+		fmt.Fprintln(os.Stderr, "msinsight: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	radices, err := parseRadices(*radicesFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	f, err := os.Open(*traceIn)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	in, err := analyze.ParseChromeTrace(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *metricsIn != "" {
+		mf, err := os.Open(*metricsIn)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		metrics, err := analyze.ParsePrometheus(mf)
+		mf.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		in.Metrics = metrics
+	}
+
+	rep := analyze.Analyze(in, analyze.Config{Blocks: *blocks, Radices: radices, MADK: *madk})
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	rep.Print(os.Stdout)
+}
+
+func parseRadices(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var radices []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 2 {
+			return nil, fmt.Errorf("msinsight: bad -radices %q", s)
+		}
+		radices = append(radices, r)
+	}
+	return radices, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "msinsight: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"parms/internal/mpsim"
-	"parms/internal/obs"
 	"parms/internal/pario"
 	"parms/internal/pipeline"
 	"parms/internal/synth"
@@ -67,7 +66,7 @@ func Bench(cfg Config) (*BenchResult, error) {
 	lo, hi := vol.Range()
 	for _, procs := range pow2Sweep(8, maxP) {
 		cfg.logf("bench: procs=%d\n", procs)
-		ob := obs.New(procs)
+		ob := cfg.observer(procs)
 		cluster, err := mpsim.New(mpsim.Config{Procs: procs, MaxParallel: cfg.maxParallel(), Obs: ob})
 		if err != nil {
 			return nil, err

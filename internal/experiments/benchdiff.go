@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"text/tabwriter"
 )
 
 // DecodeBenchJSON parses a bench sweep snapshot written by
@@ -17,6 +18,63 @@ func DecodeBenchJSON(r io.Reader) (*BenchResult, error) {
 		return nil, fmt.Errorf("experiments: bench snapshot has no runs")
 	}
 	return &b, nil
+}
+
+// WriteBenchDelta renders a human-readable comparison of two bench
+// snapshots: for every rank count present in the baseline, each
+// per-stage modeled time, communication volume, and peak merge payload
+// as baseline → fresh with the relative change. It reports, it does
+// not judge — CompareBench is the gate.
+func WriteBenchDelta(w io.Writer, baseline, fresh *BenchResult) {
+	index := make(map[int]BenchRun, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		index[r.Procs] = r
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "procs\tmetric\tbaseline\tfresh\tdelta\t")
+	for _, base := range baseline.Runs {
+		got, ok := index[base.Procs]
+		if !ok {
+			fmt.Fprintf(tw, "%d\t(all)\t-\t-\trun missing from fresh sweep\t\n", base.Procs)
+			continue
+		}
+		rows := []struct {
+			name      string
+			base, got float64
+			seconds   bool
+		}{
+			{"read", base.ReadSeconds, got.ReadSeconds, true},
+			{"compute", base.ComputeSeconds, got.ComputeSeconds, true},
+			{"merge", base.MergeSeconds, got.MergeSeconds, true},
+			{"write", base.WriteSeconds, got.WriteSeconds, true},
+			{"total", base.TotalSeconds, got.TotalSeconds, true},
+			{"sent B", float64(base.BytesSent), float64(got.BytesSent), false},
+			{"recv B", float64(base.BytesRecv), float64(got.BytesRecv), false},
+			{"peak payload B", float64(base.PeakPayloadBytes), float64(got.PeakPayloadBytes), false},
+		}
+		for _, row := range rows {
+			format := "%.0f"
+			if row.seconds {
+				format = "%.4fs"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t"+format+"\t"+format+"\t%s\t\n",
+				base.Procs, row.name, row.base, row.got, deltaPercent(row.base, row.got))
+		}
+	}
+	tw.Flush()
+}
+
+// deltaPercent renders the relative change between two values: "=" for
+// no change, "new" when something appears against a zero baseline.
+func deltaPercent(base, got float64) string {
+	switch {
+	case base == got:
+		return "="
+	case base == 0:
+		return "new"
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*(got/base-1))
+	}
 }
 
 // CompareBench gates a fresh bench sweep against a committed baseline,

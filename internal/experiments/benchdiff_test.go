@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,56 @@ func TestCompareBenchCatchesDrift(t *testing.T) {
 			t.Errorf("violations = %v, want one missing-run violation", v)
 		}
 	})
+}
+
+func TestWriteBenchDelta(t *testing.T) {
+	base := gateBaseline()
+	fresh := gateBaseline()
+	fresh.Runs[0].ComputeSeconds = 1.0 // -50%
+	fresh.Runs[0].MergeSeconds = 0.6   // +20%
+	fresh.Runs[0].BytesSent = 6000     // +20%
+
+	var buf bytes.Buffer
+	WriteBenchDelta(&buf, base, fresh)
+	out := buf.String()
+	for _, want := range []string{
+		"procs", "metric", "baseline", "fresh", "delta",
+		"compute", "2.0000s", "1.0000s", "-50.0%",
+		"merge", "0.6000s", "+20.0%",
+		"sent B", "6000", "+20.0%",
+		"read", "=", // unchanged stage renders as "="
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+
+	// A baseline rank count absent from the fresh sweep is reported, not
+	// silently dropped.
+	fresh.Runs[0].Procs = 16
+	buf.Reset()
+	WriteBenchDelta(&buf, base, fresh)
+	if !strings.Contains(buf.String(), "run missing from fresh sweep") {
+		t.Errorf("missing run not reported:\n%s", buf.String())
+	}
+}
+
+func TestDeltaPercent(t *testing.T) {
+	cases := []struct {
+		base, got float64
+		want      string
+	}{
+		{1, 1, "="},
+		{0, 0, "="},
+		{0, 5, "new"},
+		{2, 1, "-50.0%"},
+		{2, 3, "+50.0%"},
+	}
+	for _, tc := range cases {
+		if got := deltaPercent(tc.base, tc.got); got != tc.want {
+			t.Errorf("deltaPercent(%g, %g) = %q, want %q", tc.base, tc.got, got, tc.want)
+		}
+	}
 }
 
 func TestDecodeBenchJSONRejectsEmpty(t *testing.T) {

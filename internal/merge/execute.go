@@ -114,11 +114,11 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					// timeout path recover the subtree.
 					continue
 				}
-				serStart := r.Clock()
+				ser := tr.Begin("serialize", r.Clock())
 				payload := mpsim.Frame(ms.Serialize())
 				w := vtime.Work{BytesCoded: int64(len(payload))}
 				r.Compute(w)
-				tr.Span("serialize", serStart, r.Clock(),
+				ser.End(r.Clock(),
 					obs.I("block", int64(m)), obs.I("bytes", int64(len(payload))))
 				payloadHist.Observe(int64(len(payload)))
 				payloadPeak.SetMax(float64(len(payload)))
@@ -169,6 +169,10 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 						}
 						tr.Instant("fault:timeout", r.Clock(), obs.I("block", int64(m)),
 							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
+						if lg := r.Logger(); lg != nil {
+							lg.Warn("fault.timeout", "rank", r.ID(), "block", m,
+								"src", srcRank, "round", round, "vt", float64(r.Clock()))
+						}
 						lost = true
 					}
 				} else {
@@ -187,6 +191,10 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 						}
 						tr.Instant("fault:corrupt", r.Clock(), obs.I("block", int64(m)),
 							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
+						if lg := r.Logger(); lg != nil {
+							lg.Warn("fault.corrupt", "rank", r.ID(), "block", m,
+								"src", srcRank, "round", round, "vt", float64(r.Clock()))
+						}
 						other, payload = nil, nil
 					}
 				}
@@ -207,14 +215,14 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					}
 					other = restored
 				}
-				glueStart := r.Clock()
+				glue := tr.Begin("glue", r.Clock())
 				if len(payload) > 0 {
 					r.Compute(vtime.Work{BytesCoded: int64(len(payload))})
 				}
 				workBefore := root.Work
 				root.Glue(other)
 				r.Compute(workDelta(root.Work, workBefore))
-				tr.Span("glue", glueStart, r.Clock(),
+				glue.End(r.Clock(),
 					obs.I("block", int64(m)), obs.I("bytes", int64(len(payload))))
 			}
 			simpStart := r.Clock()
@@ -352,6 +360,10 @@ func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Opti
 	r.Tracer().Span("rebuild", rebuildStart, r.Clock(),
 		obs.I("block", int64(block)), obs.I("round", int64(round)),
 		obs.I("subtree", int64(span)))
+	if lg := r.Logger(); lg != nil {
+		lg.Info("recover.rebuild", "rank", r.ID(), "block", block, "round", round,
+			"subtree", span, "seconds", float64(r.Clock()-rebuildStart), "vt", float64(r.Clock()))
+	}
 	if reg := r.Metrics(); reg != nil {
 		reg.Counter("merge_recomputes_total").Add(1)
 		reg.Gauge("merge_recompute_seconds_total").Add(float64(r.Clock() - rebuildStart))

@@ -85,7 +85,21 @@ func (l *Loader) dirOf(path string) string {
 	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
 		return filepath.Join(l.modRoot, filepath.FromSlash(rest))
 	}
-	return filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		// Standard-library packages (net, net/http) import vendored
+		// golang.org/x copies that the go tool resolves through
+		// GOROOT/src/vendor; mirror that fallback here.
+		if v := filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path)); exists(v) {
+			return v
+		}
+	}
+	return dir
+}
+
+func exists(dir string) bool {
+	_, err := os.Stat(dir)
+	return err == nil
 }
 
 // Import implements types.Importer so type-checking recurses through

@@ -73,6 +73,7 @@ func Analyzers() []*Analyzer {
 		CollectiveAnalyzer,
 		DroppederrAnalyzer,
 		RawframeAnalyzer,
+		SpanbalanceAnalyzer,
 	}
 }
 

@@ -73,6 +73,10 @@ func TestRawframeFixture(t *testing.T) {
 	checkFixture(t, "rawframe", "parms/internal/pipeline", []*Analyzer{RawframeAnalyzer}, false)
 }
 
+func TestSpanbalanceFixture(t *testing.T) {
+	checkFixture(t, "spanbalance", "parms/internal/pipeline", []*Analyzer{SpanbalanceAnalyzer}, false)
+}
+
 func TestRawframeExemptInFramingPackages(t *testing.T) {
 	l := fixtureLoader(t)
 	p, err := l.LoadDir(filepath.Join("testdata", "rawframe"), "parms/internal/pario")
@@ -153,7 +157,7 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerMetadata keeps names and docs wired: names are the allow
 // grammar's vocabulary, so they must be stable and non-empty.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe"}
+	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,155 @@
+package msvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// obsPath is the import path of the observability package whose
+// Begin/End span discipline the spanbalance analyzer enforces.
+const obsPath = "parms/internal/obs"
+
+// SpanbalanceAnalyzer flags unbalanced RankTracer.Begin / OpenSpan.End
+// pairs. An OpenSpan that is never ended silently drops the span from
+// the trace, which skews every downstream analysis (stage statistics,
+// critical path, straggler attribution) without failing anything. The
+// check is syntactic and per-function: the OpenSpan must be bound to a
+// variable, that variable must have an End call in the same function,
+// and no return may sit between the Begin and the first End — open
+// spans that must cross an early return need restructuring (or a
+// justified //msvet:allow spanbalance annotation).
+var SpanbalanceAnalyzer = &Analyzer{
+	Name: "spanbalance",
+	Doc: "flags RankTracer.Begin whose OpenSpan is discarded, never ended in the " +
+		"same function, or still open across an early return on some path",
+	Run: runSpanbalance,
+}
+
+func runSpanbalance(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				spanScanScope(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// spanOpen is one `v := tr.Begin(...)` site within a function scope.
+type spanOpen struct {
+	obj  types.Object
+	name string // span name, when a string literal
+	pos  token.Pos
+}
+
+// spanScanScope checks one function scope. Nested function literals are
+// separate scopes, scanned recursively: their returns do not terminate
+// the enclosing function, and a span must be closed in the scope that
+// opened it.
+func spanScanScope(pass *Pass, body *ast.BlockStmt) {
+	var opens []spanOpen
+	ends := map[types.Object][]token.Pos{}
+	var returns []token.Pos
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			spanScanScope(pass, n.Body)
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.ExprStmt:
+			if call, ok := beginCall(pass.Info, n.X); ok {
+				pass.Reportf(call.Pos(),
+					"span %s opened but its OpenSpan is discarded — nothing can End it", spanName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				break
+			}
+			call, ok := beginCall(pass.Info, n.Rhs[0])
+			if !ok {
+				break
+			}
+			id, isID := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+			if !isID {
+				break
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"span %s opened but its OpenSpan is assigned to _ — nothing can End it", spanName(call))
+				break
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				opens = append(opens, spanOpen{obj: obj, name: spanName(call), pos: call.Pos()})
+			}
+		case *ast.CallExpr:
+			if name, ok := methodOn(pass.Info, n, obsPath, "OpenSpan"); ok && name == "End" {
+				if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+					if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							ends[obj] = append(ends[obj], n.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, open := range opens {
+		endPositions := ends[open.obj]
+		if len(endPositions) == 0 {
+			pass.Reportf(open.pos, "span %s opened but never ended in this function", open.name)
+			continue
+		}
+		first := endPositions[0]
+		for _, p := range endPositions {
+			if p < first {
+				first = p
+			}
+		}
+		for _, ret := range returns {
+			if open.pos < ret && ret < first {
+				pass.Reportf(open.pos,
+					"span %s is still open across an early return on some path — End it before returning", open.name)
+				break
+			}
+		}
+	}
+}
+
+// beginCall resolves an expression to a RankTracer.Begin call.
+func beginCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	name, ok := methodOn(info, call, obsPath, "RankTracer")
+	if !ok || name != "Begin" {
+		return nil, false
+	}
+	return call, true
+}
+
+// spanName renders the span's name argument for diagnostics: the
+// literal when it is one, a placeholder otherwise.
+func spanName(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				return strconv.Quote(s)
+			}
+		}
+	}
+	return "(dynamic name)"
+}

@@ -1,0 +1,67 @@
+// Fixture for the spanbalance analyzer: RankTracer.Begin / OpenSpan.End
+// pairing discipline.
+package spanbalance
+
+import (
+	"parms/internal/obs"
+	"parms/internal/vtime"
+)
+
+func badDiscarded(tr *obs.RankTracer, now vtime.Time) {
+	tr.Begin("serialize", now) // want `spanbalance: span "serialize" opened but its OpenSpan is discarded`
+}
+
+func badBlank(tr *obs.RankTracer, now vtime.Time) {
+	_ = tr.Begin("glue", now) // want `spanbalance: span "glue" opened but its OpenSpan is assigned to _`
+}
+
+func badNeverEnded(tr *obs.RankTracer, now vtime.Time) {
+	sp := tr.Begin("simplify", now) // want `spanbalance: span "simplify" opened but never ended in this function`
+	_ = sp
+}
+
+func badEarlyReturn(tr *obs.RankTracer, now vtime.Time, fail bool) bool {
+	sp := tr.Begin("glue", now) // want `spanbalance: span "glue" is still open across an early return on some path`
+	if fail {
+		return false
+	}
+	sp.End(now)
+	return true
+}
+
+func badDynamicNeverEnded(tr *obs.RankTracer, name string, now vtime.Time) {
+	sp := tr.Begin(name, now) // want `spanbalance: span \(dynamic name\) opened but never ended`
+	_ = sp
+}
+
+func goodBalanced(tr *obs.RankTracer, now vtime.Time) {
+	sp := tr.Begin("serialize", now)
+	sp.End(now, obs.I("bytes", 1))
+}
+
+func goodEndThenReturn(tr *obs.RankTracer, now vtime.Time, early bool) bool {
+	sp := tr.Begin("glue", now)
+	sp.End(now)
+	if early {
+		return false // legal: the span is already closed here
+	}
+	return true
+}
+
+func goodNestedScopes(tr *obs.RankTracer, now vtime.Time) {
+	// The literal is its own scope: its balanced pair does not leak
+	// into (or satisfy) the enclosing function's accounting.
+	f := func() {
+		sp := tr.Begin("inner", now)
+		sp.End(now)
+	}
+	f()
+}
+
+func goodAllowed(tr *obs.RankTracer, now vtime.Time) {
+	// A justified annotation suppresses the finding (the helper owns
+	// the End call).
+	//msvet:allow spanbalance: handed to a helper that ends it
+	sp := tr.Begin("handoff", now)
+	_ = sp
+}

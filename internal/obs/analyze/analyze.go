@@ -1,0 +1,710 @@
+// Package analyze is the layer that reads the telemetry: it consumes a
+// traced run (a live *obs.Observer or re-parsed trace/metrics exports)
+// and computes the analyses the paper's per-stage max-over-ranks
+// decomposition cannot express — the critical path through the radix
+// reduction tree, per-stage straggler detection with an imbalance
+// score, per-round merge attribution (serialize vs glue vs simplify,
+// payload growth), and a deterministic tuning recommendation derived
+// from the observed payload sizes and span times (DESIGN §12).
+//
+// Every function here is a pure function of its Input: analyzing the
+// same trace twice — or the traces of two same-seed runs — produces
+// byte-identical reports.
+package analyze
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parms/internal/grid"
+	"parms/internal/merge"
+	"parms/internal/obs"
+)
+
+// Input is the telemetry snapshot an analysis consumes: one span/
+// instant track per rank plus the flattened metrics series. Build one
+// with FromObserver (live or post-run) or ParseChromeTrace +
+// ParsePrometheus (from exported files).
+type Input struct {
+	Procs    int
+	Spans    [][]obs.Span
+	Instants [][]obs.Instant
+	// Metrics maps a Prometheus series name (labels included, e.g.
+	// `merge_round_bytes_sent_total{round="0"}`) to its value. Optional:
+	// analyses that need it degrade gracefully when empty.
+	Metrics map[string]float64
+}
+
+// FromObserver snapshots a live or completed run. Safe to call while
+// ranks are still recording: each track is copied under its lock, so
+// the snapshot is a consistent prefix of the run.
+func FromObserver(o *obs.Observer) *Input {
+	in := &Input{Metrics: map[string]float64{}}
+	if o == nil {
+		return in
+	}
+	tr := o.Trace
+	in.Procs = tr.Procs()
+	in.Spans = make([][]obs.Span, in.Procs)
+	in.Instants = make([][]obs.Instant, in.Procs)
+	for id := 0; id < in.Procs; id++ {
+		in.Spans[id] = tr.Spans(id)
+		in.Instants[id] = tr.Instants(id)
+	}
+	var buf strings.Builder
+	if err := o.Metrics.WritePrometheus(&buf); err == nil {
+		if m, err := ParsePrometheus(strings.NewReader(buf.String())); err == nil {
+			in.Metrics = m
+		}
+	}
+	return in
+}
+
+// Config tunes an analysis. The zero value selects the documented
+// defaults, so Analyze(in, Config{}) is the common call.
+type Config struct {
+	// Blocks overrides the decomposition block count; 0 infers it from
+	// the block ids observed in the trace.
+	Blocks int
+	// Radices overrides the merge schedule; nil infers it from the
+	// round span attributes.
+	Radices []int
+	// MADK is the straggler threshold multiplier on the median absolute
+	// deviation (default 4): a rank is flagged when its stage duration
+	// (or attributed wait) exceeds median + MADK·MAD plus a small
+	// relative floor that suppresses noise when MAD is ~0.
+	MADK float64
+}
+
+func (c Config) madK() float64 {
+	if c.MADK <= 0 {
+		return 4
+	}
+	return c.MADK
+}
+
+// StageSummary condenses one stage's per-rank durations.
+type StageSummary struct {
+	Name        string  `json:"name"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	// Imbalance is max/mean across ranks (1.0 = perfectly balanced),
+	// the paper's efficiency metric.
+	Imbalance   float64 `json:"imbalance"`
+	SlowestRank int     `json:"slowest_rank"`
+}
+
+// Straggler is one flagged rank.
+type Straggler struct {
+	Rank int `json:"rank"`
+	// Stage is the stage the rank straggled in, or "merge-wait" when
+	// the rank was flagged for the wait time it imposed on merge-group
+	// roots (the signature of a slow sender, whose own spans stay
+	// short).
+	Stage string `json:"stage"`
+	// Seconds is the rank's duration (or total attributed wait) and
+	// MedianSeconds the across-rank median it is compared against.
+	MedianSeconds float64 `json:"median_seconds"`
+	Seconds       float64 `json:"seconds"`
+}
+
+// RoundReport attributes one merge round's time and traffic.
+type RoundReport struct {
+	Round       int `json:"round"`
+	Radix       int `json:"radix"`
+	BlocksAfter int `json:"blocks_after"`
+	// Seconds is the round duration (max over ranks).
+	Seconds float64 `json:"seconds"`
+	// The per-phase sums across ranks inside the round window.
+	SerializeSeconds float64 `json:"serialize_seconds"`
+	GlueSeconds      float64 `json:"glue_seconds"`
+	SimplifySeconds  float64 `json:"simplify_seconds"`
+	// WaitSeconds is the idle time roots spent waiting for member
+	// payloads (summed across ranks).
+	WaitSeconds float64 `json:"wait_seconds"`
+	// RecoverSeconds sums rebuild and checkpoint-restore spans.
+	RecoverSeconds float64 `json:"recover_seconds"`
+	SentBytes      int64   `json:"sent_bytes"`
+	// Payload sizes observed by the round's serialize spans.
+	MeanPayloadBytes int64 `json:"mean_payload_bytes"`
+	MaxPayloadBytes  int64 `json:"max_payload_bytes"`
+}
+
+// PathStep is one link of the critical path, on one rank's timeline.
+type PathStep struct {
+	// Kind is read, compute, serialize, wait, glue, simplify,
+	// checkpoint or recover.
+	Kind  string `json:"kind"`
+	Rank  int    `json:"rank"`
+	Block int    `json:"block"`
+	// Round is the merge round, -1 before merging.
+	Round        int     `json:"round"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+}
+
+// Recommendation is the deterministic tuning advice derived from the
+// trace (see Recommend).
+type Recommendation struct {
+	// Radices is the proposed merge radix schedule.
+	Radices []int `json:"radices,omitempty"`
+	// Blocks is the proposed decomposition block count (equal to the
+	// observed count when no change is advised).
+	Blocks int `json:"blocks"`
+	// AvoidRanks lists straggler ranks the block-cyclic remapping
+	// should shift load away from.
+	AvoidRanks []int    `json:"avoid_ranks,omitempty"`
+	Reasons    []string `json:"reasons"`
+}
+
+// Report is the full analysis of one run.
+type Report struct {
+	Procs        int     `json:"procs"`
+	Blocks       int     `json:"blocks"`
+	Radices      []int   `json:"radices,omitempty"`
+	TotalSeconds float64 `json:"total_seconds"`
+	BytesSent    int64   `json:"bytes_sent,omitempty"`
+
+	Stages     []StageSummary `json:"stages,omitempty"`
+	Stragglers []Straggler    `json:"stragglers,omitempty"`
+	Rounds     []RoundReport  `json:"rounds,omitempty"`
+
+	// CriticalPath chains the spans that bound the merge wall time,
+	// leaf to final survivor; CriticalEndSeconds is when it completes.
+	CriticalPath       []PathStep `json:"critical_path,omitempty"`
+	CriticalEndSeconds float64    `json:"critical_end_seconds"`
+
+	// Faults counts fault instants by name (fault:timeout etc.).
+	Faults map[string]int `json:"faults,omitempty"`
+
+	Recommendation Recommendation `json:"recommendation"`
+}
+
+// stageNames are the stage spans summarized per rank, in timeline
+// order (the sync spans are collective boundaries, not work).
+var stageNames = []string{"read", "compute", "merge", "write"}
+
+// Analyze computes the full report. It is a pure function of (in, cfg):
+// equal inputs produce equal reports, byte for byte once serialized.
+func Analyze(in *Input, cfg Config) *Report {
+	a := newAnalysis(in, cfg)
+	rep := &Report{
+		Procs:        a.procs,
+		Blocks:       a.nblocks,
+		Radices:      a.radices,
+		TotalSeconds: a.total,
+		BytesSent:    int64(in.Metrics["mpsim_bytes_sent_total"]),
+	}
+	rep.Stages = a.stageSummaries()
+	rep.Rounds = a.roundReports()
+	rep.Stragglers = a.stragglers(rep.Stages)
+	rep.CriticalPath, rep.CriticalEndSeconds = a.criticalPath()
+	rep.Faults = a.faultCounts()
+	rep.Recommendation = recommend(rep)
+	return rep
+}
+
+// analysis is the indexed view of one Input that the individual
+// analyses query.
+type analysis struct {
+	in      *Input
+	cfg     Config
+	procs   int
+	nblocks int
+	radices []int
+	sched   merge.Schedule
+	total   float64
+
+	// windows[rank][round] is the round:k span interval on that rank.
+	windows [][]window
+	// roundMeta[round] aggregates round span attributes.
+	roundMeta []roundMeta
+	// ends[rank] holds every span end on the rank, sorted, for
+	// previous-event queries.
+	ends [][]float64
+
+	// Span indexes keyed by (round, block). Values carry the span and
+	// the rank it was recorded on.
+	serialize map[[2]int]located
+	glue      map[[2]int]located
+	simplify  map[[2]int]located
+	ckptWrite map[[2]int]located
+	recover   map[[2]int][]located
+	timeouts  map[[2]int]locInstant
+	compute   map[int]located // block id -> compute "block" span
+	read      map[int]located // block id -> read:block span
+
+	// medFirstIdle[round] is the round's "natural" receive wait: the
+	// median, across the round's groups, of the idle before each
+	// group's first glue (the root just became ready and the first
+	// payload is still in flight — structural, not a straggler). An
+	// idle counts as a genuine wait only when it clears 4× this peer
+	// baseline or 5% of the makespan, whichever is smaller (see
+	// isWait).
+	medFirstIdle []float64
+}
+
+// isWait classifies a pre-glue idle in the given round: true when the
+// root was genuinely stalled on a late payload rather than paying the
+// round's natural pipeline wait. Peer-relative (4× the round's median
+// positive idle) so symmetric transfer waits never flag, capped at 5%
+// of the makespan so a lone heavily-delayed payload still registers
+// when it has no peers to compare against.
+func (a *analysis) isWait(round int, idle float64) bool {
+	eps := 0.0
+	if round >= 0 && round < len(a.medFirstIdle) {
+		eps = 4 * a.medFirstIdle[round]
+	}
+	if limit := 0.05 * a.total; eps > limit {
+		eps = limit
+	}
+	return idle > eps+1e-9
+}
+
+type window struct{ start, end float64 }
+
+type roundMeta struct {
+	radix       int
+	blocksAfter int
+	sentBytes   int64
+	seconds     float64
+}
+
+type located struct {
+	rank int
+	span obs.Span
+}
+
+type locInstant struct {
+	rank int
+	inst obs.Instant
+}
+
+func attrInt(attrs []obs.Attr, key string) (int64, bool) {
+	for _, at := range attrs {
+		if at.Key == key {
+			return at.Int(), true
+		}
+	}
+	return 0, false
+}
+
+func newAnalysis(in *Input, cfg Config) *analysis {
+	a := &analysis{
+		in:        in,
+		cfg:       cfg,
+		procs:     in.Procs,
+		serialize: map[[2]int]located{},
+		glue:      map[[2]int]located{},
+		simplify:  map[[2]int]located{},
+		ckptWrite: map[[2]int]located{},
+		recover:   map[[2]int][]located{},
+		timeouts:  map[[2]int]locInstant{},
+		compute:   map[int]located{},
+		read:      map[int]located{},
+	}
+
+	// Pass 1: rounds, block ids, per-rank sorted ends, total makespan.
+	maxRound := -1
+	maxBlock := -1
+	a.ends = make([][]float64, a.procs)
+	roundAttrs := map[int]roundMeta{}
+	for rank := 0; rank < a.procs; rank++ {
+		for _, s := range in.Spans[rank] {
+			a.ends[rank] = append(a.ends[rank], float64(s.End))
+			if float64(s.End) > a.total {
+				a.total = float64(s.End)
+			}
+			switch {
+			case strings.HasPrefix(s.Name, "round:"):
+				k, err := strconv.Atoi(s.Name[len("round:"):])
+				if err != nil {
+					continue
+				}
+				if k > maxRound {
+					maxRound = k
+				}
+				m := roundAttrs[k]
+				if v, ok := attrInt(s.Attrs, "radix"); ok {
+					m.radix = int(v)
+				}
+				if v, ok := attrInt(s.Attrs, "blocks_after"); ok {
+					m.blocksAfter = int(v)
+				}
+				if v, ok := attrInt(s.Attrs, "sent_bytes"); ok {
+					m.sentBytes += v
+				}
+				if d := s.Duration(); d > m.seconds {
+					m.seconds = d
+				}
+				roundAttrs[k] = m
+			case s.Name == "block":
+				if v, ok := attrInt(s.Attrs, "id"); ok {
+					a.compute[int(v)] = located{rank, s}
+					if int(v) > maxBlock {
+						maxBlock = int(v)
+					}
+				}
+			case s.Name == "read:block":
+				if v, ok := attrInt(s.Attrs, "id"); ok {
+					a.read[int(v)] = located{rank, s}
+					if int(v) > maxBlock {
+						maxBlock = int(v)
+					}
+				}
+			case s.Name == "serialize" || s.Name == "glue":
+				if v, ok := attrInt(s.Attrs, "block"); ok && int(v) > maxBlock {
+					maxBlock = int(v)
+				}
+			}
+		}
+		sort.Float64s(a.ends[rank])
+	}
+
+	a.radices = cfg.Radices
+	if a.radices == nil {
+		for k := 0; k <= maxRound; k++ {
+			a.radices = append(a.radices, roundAttrs[k].radix)
+		}
+	}
+	a.sched = merge.Schedule{Radices: a.radices}
+	a.roundMeta = make([]roundMeta, len(a.radices))
+	for k := range a.roundMeta {
+		a.roundMeta[k] = roundAttrs[k]
+	}
+	a.nblocks = cfg.Blocks
+	if a.nblocks <= 0 {
+		a.nblocks = maxBlock + 1
+	}
+	if a.nblocks <= 0 {
+		a.nblocks = a.procs
+	}
+
+	// Pass 2: round windows per rank, then assign the merge sub-spans
+	// to rounds by containment in the recording rank's window.
+	a.windows = make([][]window, a.procs)
+	for rank := 0; rank < a.procs; rank++ {
+		a.windows[rank] = make([]window, len(a.radices))
+		for _, s := range in.Spans[rank] {
+			if !strings.HasPrefix(s.Name, "round:") {
+				continue
+			}
+			if k, err := strconv.Atoi(s.Name[len("round:"):]); err == nil && k < len(a.windows[rank]) {
+				a.windows[rank][k] = window{float64(s.Start), float64(s.End)}
+			}
+		}
+	}
+	for rank := 0; rank < a.procs; rank++ {
+		for _, s := range in.Spans[rank] {
+			k := a.roundOf(rank, s)
+			if k < 0 {
+				continue
+			}
+			switch s.Name {
+			case "serialize":
+				if v, ok := attrInt(s.Attrs, "block"); ok {
+					a.serialize[[2]int{k, int(v)}] = located{rank, s}
+				}
+			case "glue":
+				if v, ok := attrInt(s.Attrs, "block"); ok {
+					a.glue[[2]int{k, int(v)}] = located{rank, s}
+				}
+			case "simplify":
+				if v, ok := attrInt(s.Attrs, "root"); ok {
+					a.simplify[[2]int{k, int(v)}] = located{rank, s}
+				}
+			case "ckpt:write":
+				if v, ok := attrInt(s.Attrs, "block"); ok {
+					a.ckptWrite[[2]int{k, int(v)}] = located{rank, s}
+				}
+			case "rebuild", "ckpt:restore":
+				if v, ok := attrInt(s.Attrs, "block"); ok {
+					key := [2]int{k, int(v)}
+					a.recover[key] = append(a.recover[key], located{rank, s})
+				}
+			}
+		}
+		for _, inst := range in.Instants[rank] {
+			if inst.Name != "fault:timeout" {
+				continue
+			}
+			k, okK := attrInt(inst.Attrs, "round")
+			b, okB := attrInt(inst.Attrs, "block")
+			if okK && okB {
+				a.timeouts[[2]int{int(k), int(b)}] = locInstant{rank, inst}
+			}
+		}
+	}
+	a.medFirstIdle = make([]float64, len(a.radices))
+	for k := range a.radices {
+		var firsts []float64
+		for _, g := range a.sched.RoundGroups(a.nblocks, k) {
+			bestStart, idle := math.Inf(1), -1.0
+			for _, m := range g.Members {
+				if m == g.Root {
+					continue
+				}
+				if loc, ok := a.glue[[2]int{k, m}]; ok && float64(loc.span.Start) < bestStart {
+					bestStart = float64(loc.span.Start)
+					idle = bestStart - a.prevEnd(loc.rank, bestStart)
+				}
+			}
+			if idle >= 0 {
+				firsts = append(firsts, idle)
+			}
+		}
+		a.medFirstIdle[k] = quantile(firsts, 0.5)
+	}
+	return a
+}
+
+// roundOf returns the merge round whose window on the recording rank
+// contains the span, or -1.
+func (a *analysis) roundOf(rank int, s obs.Span) int {
+	for k, w := range a.windows[rank] {
+		if w.end > w.start && float64(s.Start) >= w.start && float64(s.End) <= w.end {
+			return k
+		}
+	}
+	return -1
+}
+
+// prevEnd returns the latest span end on the rank at or before t — the
+// moment the rank last finished doing something, so t - prevEnd is idle
+// (waiting) time. Enclosing spans end after t and never match.
+func (a *analysis) prevEnd(rank int, t float64) float64 {
+	ends := a.ends[rank]
+	i := sort.SearchFloat64s(ends, t)
+	// ends[i-1] <= t < ends[i] modulo exact ties; walk back over ties.
+	for i < len(ends) && ends[i] <= t {
+		i++
+	}
+	if i == 0 {
+		return t
+	}
+	return ends[i-1]
+}
+
+// ownerOf is the block-cyclic block-to-rank assignment of the run.
+func (a *analysis) ownerOf(block int) int { return grid.RankOfBlock(block, a.procs) }
+
+// stageDurations returns each rank's total duration of the named spans.
+func (a *analysis) stageDurations(name string) []float64 {
+	durs := make([]float64, a.procs)
+	for rank := 0; rank < a.procs; rank++ {
+		for _, s := range a.in.Spans[rank] {
+			if s.Name == name {
+				durs[rank] += s.Duration()
+			}
+		}
+	}
+	return durs
+}
+
+func (a *analysis) stageSummaries() []StageSummary {
+	var out []StageSummary
+	for _, name := range stageNames {
+		durs := a.stageDurations(name)
+		sum, max, slowest := 0.0, 0.0, 0
+		for rank, d := range durs {
+			sum += d
+			if d > max {
+				max, slowest = d, rank
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		mean := sum / float64(len(durs))
+		st := StageSummary{
+			Name:        name,
+			MaxSeconds:  max,
+			MeanSeconds: mean,
+			P95Seconds:  quantile(durs, 0.95),
+			SlowestRank: slowest,
+		}
+		if mean > 0 {
+			st.Imbalance = max / mean
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// quantile is the nearest-rank quantile of a copy of xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// medianMAD returns the median and median absolute deviation of xs.
+func medianMAD(xs []float64) (med, mad float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	med = quantile(xs, 0.5)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return med, quantile(devs, 0.5)
+}
+
+// stragglers flags outlier ranks two ways: by stage duration, and by
+// the wait time a rank's late merge payloads imposed on group roots
+// (DESIGN §12). The wait attribution is what catches a slow *sender*,
+// whose own spans stay short while everyone downstream stalls.
+func (a *analysis) stragglers(stages []StageSummary) []Straggler {
+	k := a.cfg.madK()
+	var out []Straggler
+	for _, st := range stages {
+		durs := a.stageDurations(st.Name)
+		med, mad := medianMAD(durs)
+		// The relative floor suppresses flags when MAD ~ 0 (the virtual
+		// model makes same-work ranks near-identical).
+		thresh := med + k*mad + 0.05*med + 1e-9
+		for rank, d := range durs {
+			if d > thresh {
+				out = append(out, Straggler{Rank: rank, Stage: st.Name, Seconds: d, MedianSeconds: med})
+			}
+		}
+	}
+
+	// Wait attribution: idle time before a glue span is the root
+	// waiting on that member's payload; charge it to the member's
+	// owner. A timed-out member never glues — charge the idle before
+	// the fault:timeout instant to the source rank instead.
+	waits := make([]float64, a.procs)
+	for _, key := range sortedKeys2(a.glue) {
+		loc := a.glue[key]
+		idle := float64(loc.span.Start) - a.prevEnd(loc.rank, float64(loc.span.Start))
+		if a.isWait(key[0], idle) {
+			waits[a.ownerOf(key[1])] += idle
+		}
+	}
+	for _, key := range sortedKeys2(a.timeouts) {
+		// A timeout is always a genuine wait: the root sat out the full
+		// timeout budget before giving up on the member.
+		li := a.timeouts[key]
+		idle := float64(li.inst.Ts) - a.prevEnd(li.rank, float64(li.inst.Ts))
+		src, ok := attrInt(li.inst.Attrs, "src")
+		if !ok {
+			src = int64(a.ownerOf(key[1]))
+		}
+		if idle > 0 && int(src) < len(waits) {
+			waits[src] += idle
+		}
+	}
+	med, mad := medianMAD(waits)
+	thresh := med + k*mad + 0.02*a.total + 1e-9
+	for rank, w := range waits {
+		if w > thresh {
+			out = append(out, Straggler{Rank: rank, Stage: "merge-wait", Seconds: w, MedianSeconds: med})
+		}
+	}
+	return out
+}
+
+func sortedKeys2[V any](m map[[2]int]V) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+func (a *analysis) roundReports() []RoundReport {
+	var out []RoundReport
+	for k := range a.radices {
+		m := a.roundMeta[k]
+		r := RoundReport{
+			Round:       k,
+			Radix:       a.radices[k],
+			BlocksAfter: m.blocksAfter,
+			SentBytes:   m.sentBytes,
+			Seconds:     m.seconds,
+		}
+		var payloads []int64
+		for _, key := range sortedKeys2(a.serialize) {
+			if key[0] != k {
+				continue
+			}
+			loc := a.serialize[key]
+			r.SerializeSeconds += loc.span.Duration()
+			if v, ok := attrInt(loc.span.Attrs, "bytes"); ok {
+				payloads = append(payloads, v)
+			}
+		}
+		for _, key := range sortedKeys2(a.glue) {
+			if key[0] != k {
+				continue
+			}
+			loc := a.glue[key]
+			r.GlueSeconds += loc.span.Duration()
+			if idle := float64(loc.span.Start) - a.prevEnd(loc.rank, float64(loc.span.Start)); a.isWait(k, idle) {
+				r.WaitSeconds += idle
+			}
+		}
+		for _, key := range sortedKeys2(a.simplify) {
+			if key[0] == k {
+				r.SimplifySeconds += a.simplify[key].span.Duration()
+			}
+		}
+		for _, key := range sortedKeys2(a.recover) {
+			if key[0] != k {
+				continue
+			}
+			for _, loc := range a.recover[key] {
+				r.RecoverSeconds += loc.span.Duration()
+			}
+		}
+		if len(payloads) > 0 {
+			var sum, max int64
+			for _, p := range payloads {
+				sum += p
+				if p > max {
+					max = p
+				}
+			}
+			r.MeanPayloadBytes = sum / int64(len(payloads))
+			r.MaxPayloadBytes = max
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func (a *analysis) faultCounts() map[string]int {
+	counts := map[string]int{}
+	for rank := 0; rank < a.procs; rank++ {
+		for _, inst := range a.in.Instants[rank] {
+			if strings.HasPrefix(inst.Name, "fault:") {
+				counts[inst.Name]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	return counts
+}

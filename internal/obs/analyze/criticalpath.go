@@ -1,0 +1,210 @@
+package analyze
+
+// Critical path extraction (DESIGN §12): the merge is a reduction tree
+// whose leaves are per-block compute results and whose internal nodes
+// are the per-round glue+simplify steps on group roots. The wall time
+// of the merge stage is bounded by exactly one root-to-leaf chain — at
+// each group, the participant whose contribution arrived last. The
+// walk below recovers that chain from the trace alone: a group root's
+// pre-glue idle time identifies a late member (the root sat waiting),
+// while a glue that starts with no idle means the payload was already
+// buffered and the member's own serialize end bounds its arrival.
+
+// criticalPath returns the binding chain leaf→final survivor and the
+// virtual time at which it completes.
+func (a *analysis) criticalPath() ([]PathStep, float64) {
+	if a.procs == 0 || a.nblocks <= 0 {
+		return nil, 0
+	}
+	if len(a.radices) == 0 {
+		// No merge: the critical path is the slowest leaf.
+		steps, t := a.leafSteps(a.latestLeaf())
+		return steps, t
+	}
+	// Walk every survivor's tree; the one finishing last bounds the
+	// run (ties break to the lowest block id by iteration order).
+	var bestSteps []PathStep
+	bestT := -1.0
+	for _, s := range a.sched.Survivors(a.nblocks) {
+		steps, t := a.ready(s, len(a.radices))
+		if t > bestT {
+			bestSteps, bestT = steps, t
+		}
+	}
+	if bestT < 0 {
+		bestT = 0
+	}
+	return bestSteps, bestT
+}
+
+// latestLeaf is the block whose compute span ends last.
+func (a *analysis) latestLeaf() int {
+	best, bestT := 0, -1.0
+	for b := 0; b < a.nblocks; b++ {
+		if loc, ok := a.compute[b]; ok && float64(loc.span.End) > bestT {
+			best, bestT = b, float64(loc.span.End)
+		}
+	}
+	return best
+}
+
+// leafSteps is the pre-merge chain for one block: its read and compute
+// spans on the owning rank.
+func (a *analysis) leafSteps(block int) ([]PathStep, float64) {
+	var steps []PathStep
+	t := 0.0
+	if loc, ok := a.read[block]; ok {
+		steps = append(steps, PathStep{
+			Kind: "read", Rank: loc.rank, Block: block, Round: -1,
+			StartSeconds: float64(loc.span.Start), EndSeconds: float64(loc.span.End),
+		})
+		t = float64(loc.span.End)
+	}
+	if loc, ok := a.compute[block]; ok {
+		steps = append(steps, PathStep{
+			Kind: "compute", Rank: loc.rank, Block: block, Round: -1,
+			StartSeconds: float64(loc.span.Start), EndSeconds: float64(loc.span.End),
+		})
+		t = float64(loc.span.End)
+	}
+	return steps, t
+}
+
+// ready returns the chain producing block's complex at entry to the
+// given round, and the virtual time it becomes available.
+func (a *analysis) ready(block, round int) ([]PathStep, float64) {
+	if round == 0 {
+		return a.leafSteps(block)
+	}
+	return a.groupSteps(block, round-1)
+}
+
+// groupSteps walks one reduction-tree node: the round-k group rooted at
+// root. It picks the binding participant (latest arrival), recurses
+// into its subtree, and appends the root-side processing steps.
+func (a *analysis) groupSteps(root, k int) ([]PathStep, float64) {
+	rootRank := a.ownerOf(root)
+	members := a.groupMembers(root, k)
+
+	// Candidate arrival times. The root's own complex "arrives" when
+	// its subtree is ready; a member's arrival is the glue start when
+	// the root visibly waited for it, else the member's serialize end
+	// (a sender-side lower bound — the payload was buffered early).
+	type candidate struct {
+		block   int
+		arrival float64
+		waited  bool
+	}
+	rootSteps, rootReady := a.ready(root, k)
+	best := candidate{block: root, arrival: rootReady}
+	for _, m := range members {
+		if m == root {
+			continue
+		}
+		c := candidate{block: m}
+		if g, ok := a.glue[[2]int{k, m}]; ok {
+			idle := float64(g.span.Start) - a.prevEnd(g.rank, float64(g.span.Start))
+			if a.isWait(k, idle) {
+				c.arrival, c.waited = float64(g.span.Start), true
+			} else if s, ok := a.serialize[[2]int{k, m}]; ok {
+				c.arrival = float64(s.span.End)
+			} else {
+				c.arrival = float64(g.span.Start)
+			}
+		} else if li, ok := a.timeouts[[2]int{k, m}]; ok {
+			// Timed out: the root waited until the instant fired.
+			c.arrival, c.waited = float64(li.inst.Ts), true
+		} else {
+			continue
+		}
+		if c.arrival > best.arrival {
+			best = c
+		}
+	}
+
+	var steps []PathStep
+	if best.block == root {
+		steps = rootSteps
+	} else {
+		sub, _ := a.ready(best.block, k)
+		steps = sub
+		if s, ok := a.serialize[[2]int{k, best.block}]; ok {
+			steps = append(steps, PathStep{
+				Kind: "serialize", Rank: s.rank, Block: best.block, Round: k,
+				StartSeconds: float64(s.span.Start), EndSeconds: float64(s.span.End),
+			})
+		}
+		if best.waited {
+			start := a.prevEnd(rootRank, best.arrival)
+			steps = append(steps, PathStep{
+				Kind: "wait", Rank: rootRank, Block: best.block, Round: k,
+				StartSeconds: start, EndSeconds: best.arrival,
+			})
+		}
+	}
+	ready := best.arrival
+
+	// Root-side processing: the glue work from the binding arrival to
+	// the last glue in the group, then simplify, then any recovery and
+	// checkpoint work that extends the round on this root.
+	glueStart, glueEnd := -1.0, -1.0
+	for _, m := range members {
+		g, ok := a.glue[[2]int{k, m}]
+		if !ok {
+			continue
+		}
+		if glueStart < 0 || float64(g.span.Start) < glueStart {
+			glueStart = float64(g.span.Start)
+		}
+		if float64(g.span.End) > glueEnd {
+			glueEnd = float64(g.span.End)
+		}
+	}
+	if g, ok := a.glue[[2]int{k, best.block}]; ok && best.block != root {
+		glueStart = float64(g.span.Start)
+	}
+	if glueEnd > glueStart && glueStart >= 0 {
+		steps = append(steps, PathStep{
+			Kind: "glue", Rank: rootRank, Block: root, Round: k,
+			StartSeconds: glueStart, EndSeconds: glueEnd,
+		})
+		ready = glueEnd
+	}
+	if s, ok := a.simplify[[2]int{k, root}]; ok {
+		steps = append(steps, PathStep{
+			Kind: "simplify", Rank: rootRank, Block: root, Round: k,
+			StartSeconds: float64(s.span.Start), EndSeconds: float64(s.span.End),
+		})
+		ready = float64(s.span.End)
+	}
+	for _, m := range members {
+		for _, loc := range a.recover[[2]int{k, m}] {
+			if float64(loc.span.End) > ready {
+				steps = append(steps, PathStep{
+					Kind: "recover", Rank: loc.rank, Block: m, Round: k,
+					StartSeconds: float64(loc.span.Start), EndSeconds: float64(loc.span.End),
+				})
+				ready = float64(loc.span.End)
+			}
+		}
+	}
+	if c, ok := a.ckptWrite[[2]int{k, root}]; ok && float64(c.span.End) > ready {
+		steps = append(steps, PathStep{
+			Kind: "checkpoint", Rank: rootRank, Block: root, Round: k,
+			StartSeconds: float64(c.span.Start), EndSeconds: float64(c.span.End),
+		})
+		ready = float64(c.span.End)
+	}
+	return steps, ready
+}
+
+// groupMembers reproduces the round-k group rooted at root from the
+// inferred schedule.
+func (a *analysis) groupMembers(root, k int) []int {
+	for _, g := range a.sched.RoundGroups(a.nblocks, k) {
+		if g.Root == root {
+			return g.Members
+		}
+	}
+	return []int{root}
+}

@@ -1,0 +1,136 @@
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parms/internal/obs"
+	"parms/internal/vtime"
+)
+
+// ParseChromeTrace reads a trace previously written by
+// obs.Tracer.WriteChromeTrace back into an Input (Metrics left empty —
+// pair with ParsePrometheus). Timestamps come back as virtual seconds
+// with the file's nanosecond fixed-point resolution, and attributes are
+// re-ordered by key so parsing is deterministic regardless of the
+// recording order the map decode discarded.
+func ParseChromeTrace(r io.Reader) (*Input, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string                     `json:"name"`
+			Ph   string                     `json:"ph"`
+			Tid  int                        `json:"tid"`
+			Ts   json.Number                `json:"ts"`
+			Dur  json.Number                `json:"dur"`
+			Args map[string]json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("analyze: parse trace: %w", err)
+	}
+	in := &Input{Metrics: map[string]float64{}}
+	for _, ev := range doc.TraceEvents {
+		if ev.Tid+1 > in.Procs {
+			in.Procs = ev.Tid + 1
+		}
+	}
+	in.Spans = make([][]obs.Span, in.Procs)
+	in.Instants = make([][]obs.Instant, in.Procs)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			ts, err1 := ev.Ts.Float64()
+			dur, err2 := ev.Dur.Float64()
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("analyze: bad span timestamps in %q", ev.Name)
+			}
+			start := vtime.Time(ts / 1e6)
+			in.Spans[ev.Tid] = append(in.Spans[ev.Tid], obs.Span{
+				Name:  ev.Name,
+				Start: start,
+				End:   vtime.Time((ts + dur) / 1e6),
+				Attrs: parseArgs(ev.Args),
+			})
+		case "i":
+			ts, err := ev.Ts.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("analyze: bad instant timestamp in %q", ev.Name)
+			}
+			in.Instants[ev.Tid] = append(in.Instants[ev.Tid], obs.Instant{
+				Name:  ev.Name,
+				Ts:    vtime.Time(ts / 1e6),
+				Attrs: parseArgs(ev.Args),
+			})
+		}
+	}
+	return in, nil
+}
+
+// parseArgs rebuilds span attributes from a decoded args object.
+// Integers round-trip as I attrs, other numbers as F, strings as S;
+// keys are sorted because the JSON object decode loses file order.
+func parseArgs(args map[string]json.RawMessage) []obs.Attr {
+	if len(args) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]obs.Attr, 0, len(keys))
+	for _, k := range keys {
+		raw := strings.TrimSpace(string(args[k]))
+		switch {
+		case strings.HasPrefix(raw, `"`):
+			var s string
+			if json.Unmarshal(args[k], &s) == nil {
+				attrs = append(attrs, obs.S(k, s))
+			}
+		case !strings.ContainsAny(raw, ".eE"):
+			if v, err := strconv.ParseInt(raw, 10, 64); err == nil {
+				attrs = append(attrs, obs.I(k, v))
+			}
+		default:
+			if v, err := strconv.ParseFloat(raw, 64); err == nil {
+				attrs = append(attrs, obs.F(k, v))
+			}
+		}
+	}
+	return attrs
+}
+
+// ParsePrometheus reads a metrics dump previously written by
+// obs.Registry.WritePrometheus into a flat series-name → value map
+// (label suffixes kept verbatim, e.g.
+// `merge_round_bytes_sent_total{round="0"}`).
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("analyze: bad metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: bad metrics value in %q", line)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analyze: read metrics: %w", err)
+	}
+	return out, nil
+}

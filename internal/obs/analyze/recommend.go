@@ -1,0 +1,101 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+)
+
+// payloadGrowthThreshold is the mean-payload ratio (last round / first
+// round) above which the recommender reverses the paper's
+// smaller-radices-early default: when glued complexes keep growing,
+// late rounds amortize better with smaller fan-in.
+const payloadGrowthThreshold = 1.25
+
+// computeImbalanceThreshold is the max/mean compute imbalance above
+// which the recommender proposes over-decomposition (4 blocks per
+// rank, block-cyclic) to smooth load, per the paper §IV-A.
+const computeImbalanceThreshold = 1.5
+
+// recommend derives tuning advice from a finished report. It is a pure
+// function of the report: same trace, same advice, byte for byte.
+func recommend(rep *Report) Recommendation {
+	rec := Recommendation{Blocks: rep.Blocks}
+
+	// Radix schedule: keep the multiset of observed radices but pick
+	// the order from the observed payload growth.
+	if len(rep.Radices) > 0 {
+		radices := append([]int(nil), rep.Radices...)
+		sort.Ints(radices)
+		growth := payloadGrowth(rep.Rounds)
+		if len(radices) >= 2 && growth > payloadGrowthThreshold {
+			// Reverse to descending: smaller radices last.
+			for i, j := 0, len(radices)-1; i < j; i, j = i+1, j-1 {
+				radices[i], radices[j] = radices[j], radices[i]
+			}
+			rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+				"mean merge payload grew %.2fx from first to last round; schedule smaller radices in later rounds to cut late-round fan-in", growth))
+		} else if !equalInts(radices, rep.Radices) {
+			rec.Reasons = append(rec.Reasons, "payload growth is modest; use the paper's default of smaller radices in earlier rounds")
+		}
+		rec.Radices = radices
+	}
+
+	// Block count: over-decompose when compute is imbalanced.
+	for _, st := range rep.Stages {
+		if st.Name == "compute" && st.Imbalance > computeImbalanceThreshold {
+			rec.Blocks = 4 * rep.Procs
+			rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+				"compute imbalance %.2f (max/mean); over-decompose to %d blocks (4 per rank, block-cyclic) to smooth load", st.Imbalance, rec.Blocks))
+		}
+	}
+
+	// Remapping: shift block ownership away from flagged stragglers.
+	seen := map[int]bool{}
+	for _, s := range rep.Stragglers {
+		if !seen[s.Rank] {
+			seen[s.Rank] = true
+			rec.AvoidRanks = append(rec.AvoidRanks, s.Rank)
+		}
+	}
+	sort.Ints(rec.AvoidRanks)
+	if len(rec.AvoidRanks) > 0 {
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"remap blocks away from straggler ranks %v (rotate the block-cyclic assignment so merge roots avoid them)", rec.AvoidRanks))
+	}
+
+	if len(rec.Reasons) == 0 {
+		rec.Reasons = []string{"run is balanced; no change recommended"}
+	}
+	return rec
+}
+
+// payloadGrowth is the ratio of the last round's mean serialized
+// payload to the first round's, or 0 when either is unobserved.
+func payloadGrowth(rounds []RoundReport) float64 {
+	first, last := int64(0), int64(0)
+	for _, r := range rounds {
+		if r.MeanPayloadBytes <= 0 {
+			continue
+		}
+		if first == 0 {
+			first = r.MeanPayloadBytes
+		}
+		last = r.MeanPayloadBytes
+	}
+	if first == 0 || last == 0 {
+		return 0
+	}
+	return float64(last) / float64(first)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

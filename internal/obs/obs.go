@@ -21,6 +21,8 @@ package obs
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/bits"
 	"sort"
@@ -36,6 +38,11 @@ import (
 type Observer struct {
 	Trace   *Tracer
 	Metrics *Registry
+	// Log, when non-nil, receives structured run events (fault instants,
+	// checkpoint writes, recovery decisions) correlated to virtual time
+	// through a "vt" attribute, so log lines can be joined against
+	// spans. Use NewJSONLogger for a deterministic JSON stream.
+	Log *slog.Logger
 }
 
 // New creates an Observer with both tracing and metrics enabled for a
@@ -59,6 +66,39 @@ func (o *Observer) Registry() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// Tracer returns the trace store, nil-safe like Registry.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Logger returns the structured event logger, nil when o is nil or no
+// logger is attached. Callers must nil-check the result before logging
+// (a nil *slog.Logger is not callable).
+func (o *Observer) Logger() *slog.Logger {
+	if o == nil {
+		return nil
+	}
+	return o.Log
+}
+
+// NewJSONLogger returns a slog logger writing one JSON object per event
+// to w, with the wall-clock time attribute dropped so same-seed runs
+// produce byte-identical event streams. Events carry virtual time as an
+// explicit "vt" attribute instead.
+func NewJSONLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
 }
 
 // Attr is one typed span or instant attribute. Attributes are an
@@ -122,11 +162,14 @@ func findAttr(attrs []Attr, key string) (Attr, bool) {
 	return Attr{}, false
 }
 
-// RankTracer records the spans and instants of one rank. Each rank's
-// goroutine owns its RankTracer exclusively during a run (no locking on
-// the record path); readers must wait for Cluster.Run to return.
+// RankTracer records the spans and instants of one rank. Only the
+// rank's goroutine records (so record order stays deterministic), but
+// the record path takes a short mutex so concurrent readers — the live
+// introspection server's /trace and /insight endpoints — can snapshot a
+// consistent prefix mid-run.
 type RankTracer struct {
 	id       int
+	mu       sync.Mutex
 	spans    []Span
 	instants []Instant
 }
@@ -139,7 +182,9 @@ func (t *RankTracer) Span(name string, start, end vtime.Time, attrs ...Attr) {
 	if end < start {
 		end = start
 	}
+	t.mu.Lock()
 	t.spans = append(t.spans, Span{Name: name, Start: start, End: end, Attrs: attrs})
+	t.mu.Unlock()
 }
 
 // Instant records a point event. Calls on a nil tracer are no-ops.
@@ -147,7 +192,35 @@ func (t *RankTracer) Instant(name string, ts vtime.Time, attrs ...Attr) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.instants = append(t.instants, Instant{Name: name, Ts: ts, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// OpenSpan is a span opened with Begin and awaiting its End. The zero
+// OpenSpan (and any OpenSpan from a nil tracer) ends as a no-op.
+//
+// Every Begin must be matched by exactly one End on every path through
+// the function — a span left open corrupts the timeline-tiling
+// invariant. The msvet spanbalance analyzer enforces this.
+type OpenSpan struct {
+	t     *RankTracer
+	name  string
+	start vtime.Time
+}
+
+// Begin opens a span at start; the returned handle records it when End
+// is called. On a nil tracer the handle is inert.
+func (t *RankTracer) Begin(name string, start vtime.Time) OpenSpan {
+	if t == nil {
+		return OpenSpan{}
+	}
+	return OpenSpan{t: t, name: name, start: start}
+}
+
+// End records the opened span, closing it at end.
+func (s OpenSpan) End(end vtime.Time, attrs ...Attr) {
+	s.t.Span(s.name, s.start, end, attrs...)
 }
 
 // Enabled reports whether this handle records anything, so callers can
@@ -184,18 +257,25 @@ func (t *Tracer) Rank(id int) *RankTracer {
 	return t.ranks[id]
 }
 
-// Spans returns rank id's recorded spans in record order.
+// Spans returns a copy of rank id's recorded spans in record order.
+// Safe to call while the run is still recording: the copy is a
+// consistent prefix of the rank's timeline.
 func (t *Tracer) Spans(id int) []Span {
 	if rt := t.Rank(id); rt != nil {
-		return rt.spans
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return append([]Span(nil), rt.spans...)
 	}
 	return nil
 }
 
-// Instants returns rank id's recorded instants in record order.
+// Instants returns a copy of rank id's recorded instants in record
+// order. Safe to call mid-run, like Spans.
 func (t *Tracer) Instants(id int) []Instant {
 	if rt := t.Rank(id); rt != nil {
-		return rt.instants
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return append([]Instant(nil), rt.instants...)
 	}
 	return nil
 }
@@ -321,6 +401,40 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile from the power-of-two buckets: it
+// returns the smallest bucket boundary b (a power of two) such that at
+// least ceil(q·count) observations are <= b — an upper bound within a
+// factor of two of the true quantile. It returns 0 with no
+// observations, and math.MaxInt64 when the quantile falls in the +Inf
+// bucket. q is clamped to [0, 1]; nil-safe.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= need {
+			return 1 << i
+		}
+	}
+	return math.MaxInt64
 }
 
 // Registry is a named collection of counters, gauges and histograms.

@@ -10,38 +10,6 @@ import (
 	"parms/internal/vtime"
 )
 
-// TestNilSafety: every handle must accept calls when nil — this is the
-// contract that lets the substrate instrument unconditionally.
-func TestNilSafety(t *testing.T) {
-	var o *Observer
-	if o.Rank(3) != nil || o.Registry() != nil {
-		t.Fatal("nil Observer must hand out nil handles")
-	}
-	var rt *RankTracer
-	rt.Span("x", 0, 1)
-	rt.Instant("y", 0)
-	if rt.Enabled() {
-		t.Fatal("nil RankTracer reports enabled")
-	}
-	var tr *Tracer
-	if tr.Procs() != 0 || tr.Rank(0) != nil || tr.Spans(0) != nil {
-		t.Fatal("nil Tracer leaks state")
-	}
-	var reg *Registry
-	reg.Counter("c").Add(1)
-	reg.Gauge("g").Set(1)
-	reg.Gauge("g").SetMax(2)
-	reg.Gauge("g").Add(3)
-	reg.Histogram("h").Observe(1)
-	if reg.CounterValue("c") != 0 || reg.GaugeValue("g") != 0 {
-		t.Fatal("nil Registry returned nonzero values")
-	}
-	var buf bytes.Buffer
-	if err := reg.WritePrometheus(&buf); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestCounterGaugeHistogram(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("msgs_total")

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the live introspection endpoint of a run: a plain
+// net/http server bound to a local listener, serving the observer's
+// current state. The run itself advances on the virtual clock; the
+// server answers on the host clock, reading consistent snapshots
+// through the tracer's per-rank locks, so scraping a run in flight is
+// safe and changes nothing about its virtual timeline.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Serve starts the introspection server on addr (e.g. ":9151" or
+// ":0" for an ephemeral port). The handler surface is
+//
+//	/healthz            liveness probe ("ok")
+//	/metrics            Prometheus text exposition of o.Metrics
+//	/trace              Chrome-trace JSON snapshot of o.Trace
+//	/insight            the insight handler, when one is provided
+//	                    (cmd wiring passes analyze.Handler; nil → 404)
+//	/debug/pprof/...    net/http/pprof for real-host profiling
+//
+// The insight handler is injected as an opaque http.Handler so obs
+// does not depend on the analyze package that consumes it.
+func Serve(addr string, o *Observer, insight http.Handler) (*Server, error) {
+	return ServeFunc(addr, func() *Observer { return o }, insight)
+}
+
+// ServeFunc is Serve with an indirection on the observer: current is
+// called per request, so a driver that runs many clusters in sequence
+// (msbench sweeps) can publish whichever observer belongs to the
+// in-flight run. current returning nil is fine — /metrics and /trace
+// then serve empty-but-valid documents.
+func ServeFunc(addr string, current func() *Observer, insight http.Handler) (*Server, error) {
+	if current == nil {
+		current = func() *Observer { return nil }
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		current().Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		current().Tracer().WriteChromeTrace(w)
+	})
+	if insight != nil {
+		mux.Handle("/insight", insight)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address, useful with ":0".
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down gracefully and waits for the serve
+// goroutine to exit. Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(context.Background())
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		err = s.err
+	}
+	return err
+}

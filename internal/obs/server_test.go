@@ -1,0 +1,86 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"parms/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints starts the introspection server on an ephemeral
+// port, scrapes every endpoint while the observer carries state, and
+// shuts it down cleanly — the PR-CI smoke test.
+func TestServeEndpoints(t *testing.T) {
+	o := obs.New(2)
+	o.Rank(0).Span("compute", 0, 1.5, obs.I("id", 0))
+	o.Rank(1).Instant("fault:crash", 0.5, obs.S("stage", "compute"))
+	o.Metrics.Counter("mpsim_bytes_sent_total").Add(123)
+
+	insight := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	s, err := obs.Serve("127.0.0.1:0", o, insight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "mpsim_bytes_sent_total 123") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/trace"); code != 200 ||
+		!strings.Contains(body, `"name":"compute"`) || !strings.Contains(body, `"name":"fault:crash"`) {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/insight"); code != 200 || body != `{"ok":true}` {
+		t.Errorf("/insight = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d (empty=%v)", code, body == "")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+// TestServeNilInsight serves without an insight handler: /insight must
+// 404 while everything else works, and a nil *Server must be safe to
+// close.
+func TestServeNilInsight(t *testing.T) {
+	s, err := obs.Serve("127.0.0.1:0", obs.New(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _ := get(t, "http://"+s.Addr()+"/insight"); code != http.StatusNotFound {
+		t.Errorf("/insight without handler = %d, want 404", code)
+	}
+	var nilServer *obs.Server
+	if nilServer.Addr() != "" || nilServer.Close() != nil {
+		t.Error("nil *Server methods are not no-ops")
+	}
+}

@@ -25,6 +25,7 @@ package parms
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -184,6 +185,11 @@ type Options struct {
 	// them with WriteChromeTrace / WritePrometheus. When false (the
 	// default) every instrumentation hook is a nil no-op.
 	Trace bool
+	// Log, when non-nil, receives structured run events (fault
+	// instants, checkpoint writes, recovery decisions) with a "vt"
+	// attribute tying each line to the virtual timeline; build one
+	// with obs.NewJSONLogger. Setting Log implies Trace.
+	Log *slog.Logger
 }
 
 // Result is the outcome of a parallel computation.
@@ -236,6 +242,19 @@ func (r *Result) TotalNodes() int {
 	return r.Nodes[0] + r.Nodes[1] + r.Nodes[2] + r.Nodes[3]
 }
 
+// newObserver builds the run's observability sink: a tracer+registry
+// when Options.Trace is set, with the structured event logger attached
+// when Options.Log is set (which implies tracing — log lines carry
+// virtual timestamps that only mean something next to the spans).
+func newObserver(opt Options) *obs.Observer {
+	if !opt.Trace && opt.Log == nil {
+		return nil
+	}
+	ob := obs.New(opt.Procs)
+	ob.Log = opt.Log
+	return ob
+}
+
 // Compute runs the two-stage parallel algorithm on a volume.
 func Compute(vol *Volume, opt Options) (*Result, error) {
 	if opt.Procs <= 0 {
@@ -249,10 +268,7 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 	if radices == nil && opt.FullMerge {
 		radices = merge.Full(blocks).Radices
 	}
-	var ob *obs.Observer
-	if opt.Trace {
-		ob = obs.New(opt.Procs)
-	}
+	ob := newObserver(opt)
 	cluster, err := mpsim.New(mpsim.Config{
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,
@@ -320,10 +336,7 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 	if radices == nil && opt.FullMerge {
 		radices = merge.Full(blocks).Radices
 	}
-	var ob *obs.Observer
-	if opt.Trace {
-		ob = obs.New(opt.Procs)
-	}
+	ob := newObserver(opt)
 	cluster, err := mpsim.New(mpsim.Config{
 		Procs:       opt.Procs,
 		Machine:     opt.Machine,

@@ -1,9 +1,12 @@
 package parms
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
+
+	"parms/internal/obs"
 )
 
 func TestPublicComputeMatchesSerial(t *testing.T) {
@@ -226,5 +229,37 @@ func TestPublicTraceKnob(t *testing.T) {
 	WriteStageStats(&buf, stats)
 	if !strings.Contains(buf.String(), "compute") {
 		t.Error("stage table missing compute row")
+	}
+}
+
+func TestPublicEventLog(t *testing.T) {
+	vol := Sinusoid(17, 2)
+	var buf bytes.Buffer
+	plan := NewFaultPlan(1).CrashRank(2, "compute")
+	res, err := Compute(vol, Options{
+		Procs: 8, FullMerge: true, Persistence: 0.15,
+		Faults: plan, Log: obs.NewJSONLogger(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setting Log implies tracing, and the crash must surface both as a
+	// trace instant and as a structured log line carrying a virtual
+	// timestamp for joining against the spans.
+	if res.Trace == nil {
+		t.Fatal("Options.Log did not imply tracing")
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"fault.crash"`) {
+		t.Errorf("log missing fault.crash event:\n%s", out)
+	}
+	if !strings.Contains(out, `"vt":`) {
+		t.Errorf("log lines carry no virtual timestamps:\n%s", out)
+	}
+	if !strings.Contains(out, `"msg":"recover.rebuild"`) {
+		t.Errorf("log missing recovery decision:\n%s", out)
+	}
+	if strings.Contains(out, `"time":`) {
+		t.Errorf("log lines carry wall-clock timestamps (nondeterministic):\n%s", out)
 	}
 }
