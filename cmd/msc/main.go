@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,11 @@ func main() {
 	listen := flag.String("listen", "", `serve live introspection over HTTP during the run (e.g. ":9151" or ":0")`)
 	ckpt := flag.Int("ckpt", 0, "checkpoint merge state every N rounds (0 = off); recovery restores from the newest valid checkpoint before recomputing")
 	ckptDir := flag.String("ckptdir", "ckpt", "checkpoint directory on the simulated filesystem")
+	ckptGC := flag.Bool("ckpt-gc", false, "reclaim checkpoints superseded by newer rounds as soon as they are safely on disk")
+	migrate := flag.Bool("migrate", false, "migrate a crashed rank's blocks to healthy ranks via the block ownership table")
+	speculate := flag.Bool("speculate", false, "race a local recompute against late merge payloads instead of waiting out stragglers")
+	avoidFlag := flag.String("avoid", "", "comma-separated ranks the initial block rotation should skip (e.g. \"3,17\")")
+	autoAvoid := flag.String("auto-avoid", "", "msinsight report JSON (file or /insight dump) whose recommendation.avoid_ranks seeds -avoid")
 	flag.Parse()
 
 	if *in == "" || *dimsFlag == "" {
@@ -78,6 +84,10 @@ func main() {
 	outFile := *out
 	if outFile == "" {
 		outFile = *in + ".msc"
+	}
+	avoid, err := parseAvoid(*avoidFlag, *autoAvoid, *procs)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	var ob *obs.Observer
@@ -136,6 +146,10 @@ func main() {
 		Measured:        *measured,
 		CheckpointEvery: *ckpt,
 		CheckpointDir:   *ckptDir,
+		CheckpointGC:    *ckptGC,
+		Migrate:         *migrate,
+		Speculate:       *speculate,
+		AvoidRanks:      avoid,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -146,6 +160,12 @@ func main() {
 
 	fmt.Printf("input      %s (%v %s, range [%g, %g])\n", *in, dims, dtype, lo, hi)
 	fmt.Printf("cluster    %d ranks, %d blocks, %s\n", *procs, nblocks, cluster.Network())
+	if len(avoid) > 0 {
+		fmt.Printf("avoid      ranks %v start the run owning no blocks\n", avoid)
+	}
+	if res.FaultReport.Faulty() {
+		fmt.Printf("faults     %s\n", res.FaultReport.String())
+	}
 	fmt.Printf("merge      radices %v -> %d output block(s)\n", radices, res.OutputBlocks)
 	fmt.Printf("complex    nodes %v (min, 1-saddle, 2-saddle, max), %d arcs\n", res.Nodes, res.Arcs)
 	fmt.Printf("output     %s (%d bytes)\n", outFile, res.OutputBytes)
@@ -205,6 +225,44 @@ func parseMerge(s string, nblocks int) ([]int, error) {
 		radices = append(radices, r)
 	}
 	return radices, (merge.Schedule{Radices: radices}).Validate(nblocks)
+}
+
+// parseAvoid combines the explicit -avoid list with the avoid_ranks of
+// an msinsight report named by -auto-avoid (a file holding the JSON the
+// msinsight CLI or the /insight endpoint emits), closing the advisory
+// loop: yesterday's straggler report seeds today's block rotation.
+func parseAvoid(avoidList, reportPath string, procs int) ([]int, error) {
+	var avoid []int
+	if avoidList != "" {
+		for _, part := range strings.Split(avoidList, ",") {
+			rank, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("msc: bad -avoid %q", avoidList)
+			}
+			avoid = append(avoid, rank)
+		}
+	}
+	if reportPath != "" {
+		data, err := os.ReadFile(reportPath)
+		if err != nil {
+			return nil, fmt.Errorf("msc: -auto-avoid: %w", err)
+		}
+		var rep struct {
+			Recommendation struct {
+				AvoidRanks []int `json:"avoid_ranks"`
+			} `json:"recommendation"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("msc: -auto-avoid %s: %w", reportPath, err)
+		}
+		avoid = append(avoid, rep.Recommendation.AvoidRanks...)
+	}
+	for _, rank := range avoid {
+		if rank < 0 || rank >= procs {
+			return nil, fmt.Errorf("msc: avoid rank %d out of range [0, %d)", rank, procs)
+		}
+	}
+	return avoid, nil
 }
 
 func rangeOf(samples []float32) (lo, hi float32) {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"parms/internal/fault"
 	"parms/internal/mpsim"
 	"parms/internal/pario"
 	"parms/internal/pipeline"
@@ -39,12 +40,40 @@ type BenchRun struct {
 	WallSeconds      float64 `json:"wall_seconds"`
 }
 
+// FaultDrill is the deterministic recovery drill attached to the bench
+// snapshot: one 64-rank merge with migration, speculation, and
+// checkpoint GC all on, a rank crash and a straggler payload injected.
+// Every counter below is modeled, not measured, so the benchdiff gate
+// matches the counts exactly and the seconds within the stage-time
+// tolerance; the drill catches silent drift in recovery paths the
+// fault-free scaling sweep never exercises.
+type FaultDrill struct {
+	Procs                       int     `json:"procs"`
+	Migrations                  int     `json:"migrations"`
+	MigratedBlocks              []int   `json:"migrated_blocks"`
+	Timeouts                    int     `json:"timeouts"`
+	TimeoutWaitSeconds          float64 `json:"timeout_wait_seconds"`
+	SpeculationPayloadWins      int     `json:"speculation_payload_wins"`
+	SpeculationRecomputeWins    int     `json:"speculation_recompute_wins"`
+	SpeculationCancelledSeconds float64 `json:"speculation_cancelled_seconds"`
+	CheckpointsGCed             int     `json:"checkpoints_gced"`
+	CheckpointGCBytes           int64   `json:"checkpoint_gc_bytes"`
+	CheckpointRestores          int     `json:"checkpoint_restores"`
+	Recomputes                  int     `json:"recomputes"`
+	MergeSeconds                float64 `json:"merge_seconds"`
+	Nodes                       [4]int  `json:"nodes"`
+}
+
 // BenchResult is the full sweep, JSON-serializable for trend tracking.
 type BenchResult struct {
 	Dataset   string     `json:"dataset"`
 	Scale     float64    `json:"scale"`
 	CreatedAt string     `json:"created_at"`
 	Runs      []BenchRun `json:"runs"`
+	// FaultDrill is absent in snapshots taken before the migration /
+	// speculation work landed; the gate only compares it when the
+	// baseline carries one.
+	FaultDrill *FaultDrill `json:"fault_drill,omitempty"`
 }
 
 // Bench runs a traced strong-scaling sweep (sinusoid dataset, full
@@ -109,7 +138,68 @@ func Bench(cfg Config) (*BenchResult, error) {
 			WallSeconds:      wall,
 		})
 	}
+	cfg.logf("bench: fault drill\n")
+	drill, err := benchFaultDrill(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.FaultDrill = drill
 	return out, nil
+}
+
+// benchFaultDrill runs the snapshot's recovery drill: a 64-rank
+// radix-4 merge of the chaos-suite sinusoid with per-round checkpoints,
+// GC, migration, and speculation all on. Rank 4 crashes entering round
+// 1 (its block migrates and restores from the dead rank's checkpoint)
+// and rank 3's round-0 payload is delayed just past the receive
+// deadline (the speculation race resolves in the payload's favor). The
+// injections and the virtual clock are deterministic, so every
+// resulting counter is a stable fingerprint of the recovery machinery.
+func benchFaultDrill(cfg Config) (*FaultDrill, error) {
+	const procs = 64
+	vol := synth.Sinusoid(33, 4)
+	plan := fault.NewPlan(7).
+		CrashRank(4, "merge:1").
+		DelayMessage(3, 0, 1, 0.002)
+	cluster, err := mpsim.New(mpsim.Config{Procs: procs, MaxParallel: cfg.maxParallel(), Faults: plan})
+	if err != nil {
+		return nil, err
+	}
+	pario.WriteVolume(cluster.FS(), "volume.raw", vol)
+	res, err := pipeline.Run(cluster, pipeline.Params{
+		File:            "volume.raw",
+		Dims:            vol.Dims,
+		DType:           vol.DType,
+		Blocks:          procs,
+		Radices:         []int{4, 4, 4},
+		Persistence:     0.1,
+		OutFile:         "drill.msc",
+		CheckpointEvery: 1,
+		CheckpointGC:    true,
+		Migrate:         true,
+		Speculate:       true,
+		MergeTimeout:    0.001,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := res.FaultReport
+	return &FaultDrill{
+		Procs:                       procs,
+		Migrations:                  rep.Migrations,
+		MigratedBlocks:              rep.MigratedBlocks,
+		Timeouts:                    rep.Timeouts,
+		TimeoutWaitSeconds:          rep.TimeoutWaitSeconds,
+		SpeculationPayloadWins:      rep.SpeculationPayloadWins,
+		SpeculationRecomputeWins:    rep.SpeculationRecomputeWins,
+		SpeculationCancelledSeconds: rep.SpeculationCancelledSeconds,
+		CheckpointsGCed:             rep.CheckpointsGCed,
+		CheckpointGCBytes:           rep.CheckpointGCBytes,
+		CheckpointRestores:          rep.CheckpointRestores,
+		Recomputes:                  rep.Recomputes,
+		MergeSeconds:                res.Times.Merge,
+		Nodes:                       res.Nodes,
+	}, nil
 }
 
 // Print renders the sweep as an aligned table.

@@ -61,6 +61,39 @@ func WriteBenchDelta(w io.Writer, baseline, fresh *BenchResult) {
 				base.Procs, row.name, row.base, row.got, deltaPercent(row.base, row.got))
 		}
 	}
+	switch {
+	case baseline.FaultDrill == nil && fresh.FaultDrill != nil:
+		fmt.Fprintf(tw, "drill\t(all)\t-\t-\tnew (no baseline fault drill)\t\n")
+	case baseline.FaultDrill != nil && fresh.FaultDrill == nil:
+		fmt.Fprintf(tw, "drill\t(all)\t-\t-\tfault drill missing from fresh sweep\t\n")
+	case baseline.FaultDrill != nil:
+		base, got := baseline.FaultDrill, fresh.FaultDrill
+		rows := []struct {
+			name      string
+			base, got float64
+			seconds   bool
+		}{
+			{"migrations", float64(base.Migrations), float64(got.Migrations), false},
+			{"timeouts", float64(base.Timeouts), float64(got.Timeouts), false},
+			{"timeout wait", base.TimeoutWaitSeconds, got.TimeoutWaitSeconds, true},
+			{"spec payload wins", float64(base.SpeculationPayloadWins), float64(got.SpeculationPayloadWins), false},
+			{"spec recompute wins", float64(base.SpeculationRecomputeWins), float64(got.SpeculationRecomputeWins), false},
+			{"spec cancelled", base.SpeculationCancelledSeconds, got.SpeculationCancelledSeconds, true},
+			{"ckpts GCed", float64(base.CheckpointsGCed), float64(got.CheckpointsGCed), false},
+			{"GC bytes", float64(base.CheckpointGCBytes), float64(got.CheckpointGCBytes), false},
+			{"restores", float64(base.CheckpointRestores), float64(got.CheckpointRestores), false},
+			{"recomputes", float64(base.Recomputes), float64(got.Recomputes), false},
+			{"merge", base.MergeSeconds, got.MergeSeconds, true},
+		}
+		for _, row := range rows {
+			format := "%.0f"
+			if row.seconds {
+				format = "%.4fs"
+			}
+			fmt.Fprintf(tw, "drill\t%s\t"+format+"\t"+format+"\t%s\t\n",
+				row.name, row.base, row.got, deltaPercent(row.base, row.got))
+		}
+	}
 	tw.Flush()
 }
 
@@ -136,6 +169,70 @@ func CompareBench(baseline, fresh *BenchResult, tol float64) []string {
 					base.Procs, s.name, s.base, s.got,
 					100*(s.got/s.base-1), 100*tol))
 			}
+		}
+	}
+	violations = append(violations, compareFaultDrill(baseline.FaultDrill, fresh.FaultDrill, tol)...)
+	return violations
+}
+
+// compareFaultDrill gates the snapshot's recovery drill. Counters are
+// deterministic fingerprints of the recovery machinery (which path won,
+// how many files were reclaimed) and must match exactly; the modeled
+// seconds carry the same regression tolerance as stage times. Baselines
+// that predate the drill are skipped — the gate tightens the first time
+// a baseline carrying one is committed.
+func compareFaultDrill(base, got *FaultDrill, tol float64) []string {
+	if base == nil {
+		return nil
+	}
+	if got == nil {
+		return []string{"drill: fault drill missing from fresh sweep"}
+	}
+	var violations []string
+	exact := []struct {
+		name      string
+		base, got int64
+	}{
+		{"procs", int64(base.Procs), int64(got.Procs)},
+		{"migrations", int64(base.Migrations), int64(got.Migrations)},
+		{"timeouts", int64(base.Timeouts), int64(got.Timeouts)},
+		{"speculation_payload_wins", int64(base.SpeculationPayloadWins), int64(got.SpeculationPayloadWins)},
+		{"speculation_recompute_wins", int64(base.SpeculationRecomputeWins), int64(got.SpeculationRecomputeWins)},
+		{"checkpoints_gced", int64(base.CheckpointsGCed), int64(got.CheckpointsGCed)},
+		{"checkpoint_gc_bytes", base.CheckpointGCBytes, got.CheckpointGCBytes},
+		{"checkpoint_restores", int64(base.CheckpointRestores), int64(got.CheckpointRestores)},
+		{"recomputes", int64(base.Recomputes), int64(got.Recomputes)},
+	}
+	for _, e := range exact {
+		if e.base != e.got {
+			violations = append(violations, fmt.Sprintf(
+				"drill: %s drifted %d -> %d (deterministic quantity, exact match required)",
+				e.name, e.base, e.got))
+		}
+	}
+	if fmt.Sprint(base.MigratedBlocks) != fmt.Sprint(got.MigratedBlocks) {
+		violations = append(violations, fmt.Sprintf(
+			"drill: migrated_blocks drifted %v -> %v (deterministic quantity, exact match required)",
+			base.MigratedBlocks, got.MigratedBlocks))
+	}
+	if base.Nodes != got.Nodes {
+		violations = append(violations, fmt.Sprintf(
+			"drill: nodes drifted %v -> %v (deterministic quantity, exact match required)",
+			base.Nodes, got.Nodes))
+	}
+	seconds := []struct {
+		name      string
+		base, got float64
+	}{
+		{"timeout_wait_seconds", base.TimeoutWaitSeconds, got.TimeoutWaitSeconds},
+		{"speculation_cancelled_seconds", base.SpeculationCancelledSeconds, got.SpeculationCancelledSeconds},
+		{"merge_seconds", base.MergeSeconds, got.MergeSeconds},
+	}
+	for _, s := range seconds {
+		if s.got > s.base*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"drill: %s regressed %.4f -> %.4f (+%.1f%%, tolerance %.0f%%)",
+				s.name, s.base, s.got, 100*(s.got/s.base-1), 100*tol))
 		}
 	}
 	return violations

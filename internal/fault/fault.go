@@ -440,6 +440,33 @@ type Report struct {
 	// merge-round checkpoint read (sorted, deduplicated after
 	// aggregation).
 	RestoredBlocks []int
+	// TimeoutWaitSeconds totals the virtual time roots actually spent
+	// blocked in receives that then hit their deadline — the wait the
+	// timed-out merge rounds paid, which straggler attribution needs
+	// alongside the bare Timeouts count.
+	TimeoutWaitSeconds float64
+	// Migrations counts blocks this rank took over from a failed owner
+	// through the ownership table.
+	Migrations int
+	// MigratedBlocks lists the blocks that changed owner after a rank
+	// failure (sorted, deduplicated after aggregation).
+	MigratedBlocks []int
+	// SpeculationPayloadWins counts speculative recoveries cancelled
+	// because the late payload arrived cheaper than the local recompute
+	// would have finished.
+	SpeculationPayloadWins int
+	// SpeculationRecomputeWins counts speculative recoveries that beat
+	// the late (or lost) payload and were committed.
+	SpeculationRecomputeWins int
+	// SpeculationCancelledSeconds totals the modeled virtual time spent
+	// on speculative recoveries that lost the race — pure overhead the
+	// speculation policy risks to win latency.
+	SpeculationCancelledSeconds float64
+	// CheckpointsGCed counts superseded checkpoint files reclaimed by
+	// the checkpoint garbage collector.
+	CheckpointsGCed int
+	// CheckpointGCBytes totals the bytes those reclaimed files held.
+	CheckpointGCBytes int64
 }
 
 // Merge folds another report into r.
@@ -456,6 +483,14 @@ func (r *Report) Merge(o *Report) {
 	r.LostBlocks = append(r.LostBlocks, o.LostBlocks...)
 	r.RecoveredBlocks = append(r.RecoveredBlocks, o.RecoveredBlocks...)
 	r.RestoredBlocks = append(r.RestoredBlocks, o.RestoredBlocks...)
+	r.TimeoutWaitSeconds += o.TimeoutWaitSeconds
+	r.Migrations += o.Migrations
+	r.MigratedBlocks = append(r.MigratedBlocks, o.MigratedBlocks...)
+	r.SpeculationPayloadWins += o.SpeculationPayloadWins
+	r.SpeculationRecomputeWins += o.SpeculationRecomputeWins
+	r.SpeculationCancelledSeconds += o.SpeculationCancelledSeconds
+	r.CheckpointsGCed += o.CheckpointsGCed
+	r.CheckpointGCBytes += o.CheckpointGCBytes
 }
 
 // Normalize sorts and deduplicates the block lists.
@@ -463,6 +498,7 @@ func (r *Report) Normalize() {
 	r.LostBlocks = sortDedup(r.LostBlocks)
 	r.RecoveredBlocks = sortDedup(r.RecoveredBlocks)
 	r.RestoredBlocks = sortDedup(r.RestoredBlocks)
+	r.MigratedBlocks = sortDedup(r.MigratedBlocks)
 }
 
 // Faulty reports whether anything at all was observed.
@@ -471,15 +507,21 @@ func (r *Report) Faulty() bool {
 		r.Recomputes != 0 || r.CheckpointRestores != 0 ||
 		r.CheckpointFallbacks != 0 || r.IORetries != 0 ||
 		len(r.LostBlocks) != 0 || len(r.RecoveredBlocks) != 0 ||
-		len(r.RestoredBlocks) != 0
+		len(r.RestoredBlocks) != 0 ||
+		r.Migrations != 0 || len(r.MigratedBlocks) != 0 ||
+		r.SpeculationPayloadWins != 0 || r.SpeculationRecomputeWins != 0
 }
 
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"crashes=%d timeouts=%d corruptions=%d recomputes=%d (cells=%d) restores=%d (bytes=%d, fallbacks=%d) ioRetries=%d lost=%v recovered=%v restored=%v",
-		r.RankCrashes, r.Timeouts, r.Corruptions, r.Recomputes, r.RecomputeCells,
+		"crashes=%d timeouts=%d (wait=%.3fs) corruptions=%d recomputes=%d (cells=%d) restores=%d (bytes=%d, fallbacks=%d) ioRetries=%d migrations=%d spec=%d/%d (cancelled=%.3fs) gc=%d (bytes=%d) lost=%v recovered=%v restored=%v migrated=%v",
+		r.RankCrashes, r.Timeouts, r.TimeoutWaitSeconds, r.Corruptions,
+		r.Recomputes, r.RecomputeCells,
 		r.CheckpointRestores, r.CheckpointBytesRead, r.CheckpointFallbacks,
-		r.IORetries, r.LostBlocks, r.RecoveredBlocks, r.RestoredBlocks)
+		r.IORetries, r.Migrations,
+		r.SpeculationRecomputeWins, r.SpeculationPayloadWins, r.SpeculationCancelledSeconds,
+		r.CheckpointsGCed, r.CheckpointGCBytes,
+		r.LostBlocks, r.RecoveredBlocks, r.RestoredBlocks, r.MigratedBlocks)
 }
 
 func sortDedup(xs []int) []int {

@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"parms/internal/fault"
 	"parms/internal/mpsim"
 	"parms/internal/mscomplex"
 	"parms/internal/obs"
@@ -24,6 +25,13 @@ type Checkpoint struct {
 	// Every writes a checkpoint after each round r with (r+1)%Every ==
 	// 0; values < 1 disable checkpointing entirely.
 	Every int
+	// GC reclaims superseded checkpoints: once a root's round-r state is
+	// safely on disk, the older checkpoints of every block in its
+	// subtree cover strictly less progress and are deleted. The trade:
+	// if the new file is later found corrupted, Restore can no longer
+	// probe an older round and recovery degrades to Rebuild — still
+	// correct, just slower. GC runs only after a successful write.
+	GC bool
 }
 
 func (c *Checkpoint) dir() string {
@@ -39,10 +47,11 @@ func (c *Checkpoint) writesAfter(round int) bool {
 	return c != nil && c.Every > 0 && (round+1)%c.Every == 0
 }
 
-// write persists one root's post-round complex. Failures are recorded
-// in the trace but deliberately not fatal: the checkpoint is an
-// optimization of the recovery path, not a correctness requirement.
-func (c *Checkpoint) write(r *mpsim.Rank, round, block int, ms *mscomplex.Complex) {
+// write persists one root's post-round complex, then lets the GC
+// reclaim the checkpoints it supersedes. Failures are recorded in the
+// trace but deliberately not fatal: the checkpoint is an optimization
+// of the recovery path, not a correctness requirement.
+func (c *Checkpoint) write(r *mpsim.Rank, sched Schedule, nblocks, round, block int, ms *mscomplex.Complex, rep *fault.Report) {
 	start := r.Clock()
 	data := pario.EncodeCheckpoint(block, ms)
 	name := pario.CheckpointName(c.dir(), round, block)
@@ -68,6 +77,53 @@ func (c *Checkpoint) write(r *mpsim.Rank, round, block int, ms *mscomplex.Comple
 	if reg := r.Metrics(); reg != nil {
 		reg.Counter("merge_checkpoint_writes_total").Add(1)
 		reg.Counter("merge_checkpoint_bytes_written_total").Add(int64(len(data)))
+	}
+	c.gc(r, sched, nblocks, round, block, rep)
+}
+
+// gc deletes the checkpoints superseded by a freshly written round-r
+// state of block: every earlier checkpointed round k, for every block
+// of the subtree the new file covers (the multiples of stride(k+1) in
+// [block, block+stride(round+1))). Deletion is a metadata operation —
+// no clock charge — matching unlink on a parallel filesystem.
+func (c *Checkpoint) gc(r *mpsim.Rank, sched Schedule, nblocks, round, block int, rep *fault.Report) {
+	if !c.GC {
+		return
+	}
+	end := block + sched.Stride(round+1)
+	if end > nblocks {
+		end = nblocks
+	}
+	var files int
+	var bytes int64
+	for k := round - 1; k >= 0; k-- {
+		if !c.writesAfter(k) {
+			continue
+		}
+		for cb := block; cb < end; cb += sched.Stride(k + 1) {
+			if n, ok := r.RemoveFile(pario.CheckpointName(c.dir(), k, cb)); ok {
+				files++
+				bytes += n
+			}
+		}
+	}
+	if files == 0 {
+		return
+	}
+	if rep != nil {
+		rep.CheckpointsGCed += files
+		rep.CheckpointGCBytes += bytes
+	}
+	r.Tracer().Instant("ckpt:gc", r.Clock(),
+		obs.I("block", int64(block)), obs.I("round", int64(round)),
+		obs.I("files", int64(files)), obs.I("bytes", bytes))
+	if lg := r.Logger(); lg != nil {
+		lg.Info("ckpt.gc", "rank", r.ID(), "block", block, "round", round,
+			"files", files, "bytes", bytes, "vt", float64(r.Clock()))
+	}
+	if reg := r.Metrics(); reg != nil {
+		reg.Counter("merge_checkpoint_gc_files_total").Add(int64(files))
+		reg.Counter("merge_checkpoint_gc_bytes_total").Add(bytes)
 	}
 }
 

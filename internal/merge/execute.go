@@ -37,13 +37,17 @@ type Options struct {
 	// possible.
 	Timeout vtime.Time
 	// Recompute rebuilds one original block's simplified, compacted
-	// complex from source data. When set, Execute degrades gracefully:
-	// a member that times out or arrives corrupted is excluded from its
-	// group's glue, recorded, and deterministically reconstructed —
-	// the compute stage is deterministic, so the rebuilt subtree is
-	// identical to the lost one. When nil, any missing block is a hard
-	// error (the pre-fault-tolerance behavior).
-	Recompute func(block int) (*mscomplex.Complex, error)
+	// complex from source data, charging the work to rk's clock and the
+	// recovery counters to rep (either may differ from the Execute
+	// rank/report: speculative recovery runs on a quiet twin with a
+	// scratch report so a cancelled race leaves no trace). When set,
+	// Execute degrades gracefully: a member that times out or arrives
+	// corrupted is excluded from its group's glue, recorded, and
+	// deterministically reconstructed — the compute stage is
+	// deterministic, so the rebuilt subtree is identical to the lost
+	// one. When nil, any missing block is a hard error (the
+	// pre-fault-tolerance behavior).
+	Recompute func(rk *mpsim.Rank, rep *fault.Report, block int) (*mscomplex.Complex, error)
 	// Report, when non-nil, accumulates this rank's observed fault
 	// events.
 	Report *fault.Report
@@ -54,28 +58,55 @@ type Options struct {
 	// payload the lost member would have sent, so the merged output
 	// stays byte-identical to the fault-free run.
 	Checkpoint *Checkpoint
+	// Owners is the run's block ownership table; nil selects a plain
+	// block-cyclic table, reproducing the paper's frozen assignment.
+	// All ranks must hold identical replicas (Execute applies only
+	// deterministic, collectively-agreed updates to it).
+	Owners *grid.OwnerTable
+	// Migrate moves a failed rank's surviving blocks onto healthy ranks
+	// chosen by load. Each round starts with a fault-flag Allgather; on
+	// a newly-observed failure every rank applies the same ownership
+	// update, and the new owners recover the migrated blocks from the
+	// dead rank's checkpoints (the files are keyed by (round, block),
+	// not rank, so discovery is a plain Restore probe) or recompute
+	// them. Off by default: the exchange costs one collective per
+	// round, so fault-free modeled times are unchanged unless asked
+	// for.
+	Migrate bool
+	// Speculate races a local Recover of a late member subtree against
+	// its still-pending payload when a receive times out: whichever
+	// completes earlier on the virtual clock wins and the loser is
+	// cancelled. Requires Recompute; wins and cancelled work are
+	// accounted in Report.
+	Speculate bool
 }
 
 // Execute runs the merge rounds of the schedule over the per-block
-// complexes owned by this rank, under block-cyclic block-to-rank
-// assignment. complexes maps block id → complex for this rank's blocks;
-// it is mutated: non-root blocks are removed, root blocks are replaced
-// by the merged, re-simplified complex. Every rank of the cluster must
-// call Execute collectively. It returns per-round statistics (identical
-// on every rank).
+// complexes owned by this rank, under the block-to-rank assignment of
+// Options.Owners (block-cyclic by default). complexes maps block id →
+// complex for this rank's blocks; it is mutated: non-root blocks are
+// removed, root blocks are replaced by the merged, re-simplified
+// complex. Every rank of the cluster must call Execute collectively. It
+// returns per-round statistics (identical on every rank).
 //
 // Every payload travels in a length+CRC32C frame (mpsim.Frame); a root
 // never glues bytes that fail the checksum. With Options.Recompute set,
 // Execute survives rank crashes (at "merge:<round>" checkpoints),
 // dropped, delayed and corrupted messages: affected blocks are excluded
 // from the round, recomputed, and glued back in before the next round,
-// so the surviving complex matches the fault-free run.
+// so the surviving complex matches the fault-free run. With
+// Options.Migrate, a crashed rank's blocks additionally change owner
+// instead of being recovered in place on the restarted rank.
 func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*mscomplex.Complex, opts Options) ([]RoundStats, error) {
 	procs := r.Size()
 	tr := r.Tracer()
 	reg := r.Metrics()
 	payloadHist := reg.Histogram("merge_payload_bytes")
 	payloadPeak := reg.Gauge("merge_payload_peak_bytes")
+	owners := opts.Owners
+	if owners == nil {
+		owners = grid.NewOwnerTable(nblocks, procs)
+	}
 	stats := make([]RoundStats, 0, len(sched.Radices))
 	for round := range sched.Radices {
 		startT := r.AllreduceMaxTime()
@@ -93,6 +124,54 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				opts.Report.RankCrashes++
 			}
 		}
+		// Migration: exchange fault flags, then apply the same
+		// deterministic ownership update on every replica of the table.
+		// The Allgather also tells the restarted rank itself that its
+		// blocks are gone, so it stops resending or re-recovering them.
+		migratedToMe := map[int]bool{}
+		if opts.Migrate {
+			var flag int64
+			if r.Failed() {
+				flag = 1
+			}
+			flags := r.AllgatherInt64(flag)
+			var newlyFailed []int
+			for rank, f := range flags {
+				if f != 0 && owners.Healthy(rank) {
+					newlyFailed = append(newlyFailed, rank)
+				}
+			}
+			if len(newlyFailed) > 0 {
+				var surviving []int
+				for b := 0; b < nblocks; b += sched.Stride(round) {
+					surviving = append(surviving, b)
+				}
+				migs, err := owners.MigrateFrom(newlyFailed, surviving)
+				if err != nil {
+					return nil, fmt.Errorf("merge: round %d: %w", round, err)
+				}
+				for _, mg := range migs {
+					if mg.To != r.ID() {
+						continue
+					}
+					migratedToMe[mg.Block] = true
+					if opts.Report != nil {
+						opts.Report.Migrations++
+						opts.Report.MigratedBlocks = append(opts.Report.MigratedBlocks, mg.Block)
+					}
+					tr.Instant("fault:migrate", r.Clock(),
+						obs.I("block", int64(mg.Block)), obs.I("from", int64(mg.From)),
+						obs.I("to", int64(mg.To)), obs.I("round", int64(round)))
+					if lg := r.Logger(); lg != nil {
+						lg.Info("fault.migrate", "block", mg.Block, "from", mg.From,
+							"to", mg.To, "round", round, "vt", float64(r.Clock()))
+					}
+					if reg != nil {
+						reg.Counter("merge_migrations_total").Add(1)
+					}
+				}
+			}
+		}
 		groups := sched.RoundGroups(nblocks, round)
 
 		// Phase 1: every non-root member owned by this rank sends its
@@ -100,19 +179,30 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 		// issuing all sends before any receive cannot deadlock.
 		stride := sched.Stride(round)
 		for _, g := range groups {
-			rootRank := grid.RankOfBlock(g.Root, procs)
+			rootRank := owners.Owner(g.Root)
 			for _, m := range g.Members {
-				if m == g.Root || grid.RankOfBlock(m, procs) != r.ID() {
+				if m == g.Root || owners.Owner(m) != r.ID() {
 					continue
 				}
 				ms, ok := complexes[m]
 				if !ok {
-					if opts.Recompute == nil {
+					if migratedToMe[m] {
+						// Just adopted from a crashed owner: recover it —
+						// from the dead rank's checkpoints when they
+						// validate, by deterministic recompute otherwise —
+						// and take the send path like any healthy member.
+						recovered, err := Recover(r, sched, nblocks, m, round, opts)
+						if err != nil {
+							return nil, fmt.Errorf("merge: recover migrated block %d: %w", m, err)
+						}
+						ms = recovered
+					} else if opts.Recompute == nil {
 						return nil, fmt.Errorf("merge: rank %d does not hold block %d", r.ID(), m)
+					} else {
+						// Lost to a crash: stay silent and let the root's
+						// timeout path recover the subtree.
+						continue
 					}
-					// Lost to a crash: stay silent and let the root's
-					// timeout path recover the subtree.
-					continue
 				}
 				ser := tr.Begin("serialize", r.Clock())
 				payload := mpsim.Frame(ms.Serialize())
@@ -134,7 +224,7 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 		// Members that time out or fail the checksum are excluded here
 		// and recovered below, before the next round.
 		for _, g := range groups {
-			if grid.RankOfBlock(g.Root, procs) != r.ID() {
+			if owners.Owner(g.Root) != r.ID() {
 				continue
 			}
 			root, ok := complexes[g.Root]
@@ -153,25 +243,36 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				if m == g.Root {
 					continue
 				}
-				srcRank := grid.RankOfBlock(m, procs)
+				srcRank := owners.Owner(m)
 				tag := tagMergeBase + round*16 + (m-g.Root)/stride
 				var payload []byte
 				lost := false
 				if opts.Timeout > 0 {
+					recvStart := r.Clock()
 					var ok bool
 					payload, _, ok = r.RecvTimeout(srcRank, tag, opts.Timeout)
 					if !ok {
 						if opts.Recompute == nil && opts.Checkpoint == nil {
 							return nil, fmt.Errorf("merge: timeout waiting for block %d from rank %d", m, srcRank)
 						}
+						// The wait is real virtual time this root lost
+						// blocked on the deadline; straggler attribution
+						// needs it alongside the bare timeout count.
+						waited := float64(r.Clock() - recvStart)
 						if opts.Report != nil {
 							opts.Report.Timeouts++
+							opts.Report.TimeoutWaitSeconds += waited
 						}
 						tr.Instant("fault:timeout", r.Clock(), obs.I("block", int64(m)),
-							obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
+							obs.I("src", int64(srcRank)), obs.I("round", int64(round)),
+							obs.F("wait_s", waited))
 						if lg := r.Logger(); lg != nil {
 							lg.Warn("fault.timeout", "rank", r.ID(), "block", m,
-								"src", srcRank, "round", round, "vt", float64(r.Clock()))
+								"src", srcRank, "round", round, "wait_s", waited,
+								"vt", float64(r.Clock()))
+						}
+						if reg != nil {
+							reg.Gauge("merge_timeout_wait_seconds_total").Add(waited)
 						}
 						lost = true
 					}
@@ -179,6 +280,9 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					payload, _ = r.Recv(srcRank, tag)
 				}
 				var other *mscomplex.Complex
+				if lost && opts.Speculate && opts.Recompute != nil {
+					other, payload = speculate(r, sched, nblocks, m, srcRank, tag, round, opts)
+				}
 				if !lost {
 					var err error
 					other, err = decodeMember(payload)
@@ -254,7 +358,7 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				compacted = next
 			}
 			if opts.Checkpoint.writesAfter(round) {
-				opts.Checkpoint.write(r, round, g.Root, compacted)
+				opts.Checkpoint.write(r, sched, nblocks, round, g.Root, compacted, opts.Report)
 			}
 			complexes[g.Root] = compacted
 		}
@@ -284,6 +388,85 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 		})
 	}
 	return stats, nil
+}
+
+// speculate races a local recovery of a late member subtree against its
+// still-pending payload, after RecvTimeout already gave up on block
+// coming from srcRank. It runs Recover on a quiet speculative twin of
+// this rank, then compares completion times on the virtual clock: the
+// payload (if pending at all) would complete at arrival + receive
+// overhead, the recompute at Clock() + twin cost. The winner is
+// committed — payload: a now-immediate Recv, recompute: Adopt of the
+// twin's clock and the scratch report — and the loser cancelled:
+// a losing recompute's scratch report is dropped so cancelled work
+// never pollutes the recovery counters, a losing payload is left
+// unconsumed in the mailbox (ignored for the rest of the run).
+//
+// Returns (nil, nil) when neither side can produce the subtree — the
+// caller then falls through to the ordinary Restore/Rebuild path.
+func speculate(r *mpsim.Rank, sched Schedule, nblocks, block, srcRank, tag, round int, opts Options) (*mscomplex.Complex, []byte) {
+	tr := r.Tracer()
+	reg := r.Metrics()
+	specStart := r.Clock()
+	arrival, pending := r.PeekArrival(srcRank, tag)
+	twin := r.Speculative()
+	specReport := &fault.Report{}
+	specOpts := opts
+	specOpts.Report = specReport
+	recovered, recErr := Recover(twin, sched, nblocks, block, round, specOpts)
+	cost := r.SpeculationCost(twin)
+	recvDone := arrival + vtime.Time(r.Machine().RecvOverhead)
+	if pending && (recErr != nil || recvDone <= specStart+cost) {
+		// The late payload finishes first (or is the only option left):
+		// it is already pending, so this Recv returns immediately,
+		// advancing the clock to its arrival stamp.
+		data, _ := r.Recv(srcRank, tag)
+		other, err := decodeMember(data)
+		if err == nil {
+			if opts.Report != nil {
+				opts.Report.SpeculationPayloadWins++
+				opts.Report.SpeculationCancelledSeconds += float64(cost)
+			}
+			tr.Span("speculate", specStart, r.Clock(),
+				obs.S("winner", "payload"), obs.I("block", int64(block)),
+				obs.I("round", int64(round)), obs.F("cancelled_s", float64(cost)))
+			if lg := r.Logger(); lg != nil {
+				lg.Info("speculate.payload_win", "rank", r.ID(), "block", block,
+					"round", round, "cancelled_s", float64(cost), "vt", float64(r.Clock()))
+			}
+			if reg != nil {
+				reg.Counter("merge_speculation_payload_wins_total").Add(1)
+				reg.Gauge("merge_speculation_cancelled_seconds_total").Add(float64(cost))
+			}
+			return other, data
+		}
+		// The straggler's payload is corrupt on top of late; fall back
+		// to the recompute result if the twin produced one.
+		if opts.Report != nil {
+			opts.Report.Corruptions++
+		}
+		tr.Instant("fault:corrupt", r.Clock(), obs.I("block", int64(block)),
+			obs.I("src", int64(srcRank)), obs.I("round", int64(round)))
+	}
+	if recErr != nil {
+		return nil, nil
+	}
+	r.Adopt(twin)
+	if opts.Report != nil {
+		opts.Report.Merge(specReport)
+		opts.Report.SpeculationRecomputeWins++
+	}
+	tr.Span("speculate", specStart, r.Clock(),
+		obs.S("winner", "recompute"), obs.I("block", int64(block)),
+		obs.I("round", int64(round)), obs.F("cost_s", float64(cost)))
+	if lg := r.Logger(); lg != nil {
+		lg.Info("speculate.recompute_win", "rank", r.ID(), "block", block,
+			"round", round, "cost_s", float64(cost), "vt", float64(r.Clock()))
+	}
+	if reg != nil {
+		reg.Counter("merge_speculation_recompute_wins_total").Add(1)
+	}
+	return recovered, nil
 }
 
 // decodeMember unframes and deserializes one merge payload, rejecting
@@ -317,7 +500,7 @@ func Rebuild(r *mpsim.Rank, sched Schedule, nblocks, block, round int, opts Opti
 	}
 	local := make(map[int]*mscomplex.Complex, span)
 	for b := block; b < end; b++ {
-		ms, err := opts.Recompute(b)
+		ms, err := opts.Recompute(r, opts.Report, b)
 		if err != nil {
 			return nil, err
 		}

@@ -130,6 +130,25 @@ func (fs *FS) Get(name string) ([]byte, error) {
 	return out, nil
 }
 
+// Remove deletes a file, returning its size and whether it existed.
+// Removal is a metadata operation and never fails under a fault plan:
+// checkpoint GC must be able to reclaim space even on a flaky
+// filesystem (a failed unlink would just be retried by the next GC
+// pass anyway).
+func (fs *FS) Remove(name string) (int64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, false
+	}
+	f.mu.Lock()
+	n := int64(len(f.data))
+	f.mu.Unlock()
+	delete(fs.files, name)
+	return n, true
+}
+
 // Names lists the files present, sorted.
 func (fs *FS) Names() []string {
 	fs.mu.Lock()
@@ -181,7 +200,9 @@ func (r *Rank) retryIO(op func() error) error {
 			return err
 		}
 		r.ioRetries++
-		r.cluster.metrics.ioRetries.Add(1)
+		if !r.quiet {
+			r.cluster.metrics.ioRetries.Add(1)
+		}
 		r.tr.Instant("fault:io_retry", r.clock.Now(), obs.I("attempt", int64(attempt+1)))
 		if lg := r.Logger(); lg != nil {
 			lg.Warn("io.retry", "rank", r.id, "attempt", attempt+1,
@@ -273,6 +294,14 @@ func (r *Rank) IndependentRead(name string, off int64, n int) ([]byte, error) {
 // an error if it does not exist. Metadata-only: no clock charge.
 func (r *Rank) FileSize(name string) (int64, error) {
 	return r.cluster.fs.Size(name)
+}
+
+// RemoveFile unlinks a shared-filesystem file, returning its size and
+// whether it existed. Like FileSize it is metadata-only — no clock
+// charge — matching how parallel filesystems serve unlinks from the
+// metadata server without touching data paths.
+func (r *Rank) RemoveFile(name string) (int64, bool) {
+	return r.cluster.fs.Remove(name)
 }
 
 // ioAccount advances every participant's clock for one collective I/O

@@ -264,6 +264,10 @@ type Rank struct {
 	msgsRecv  int64
 	ioRetries int64
 	failed    bool
+	// quiet marks a speculative twin (see Speculative): no tracing,
+	// logging, metrics, or fault-plan crashes, so a cancelled
+	// speculation leaves no mark on the run's observable record.
+	quiet bool
 }
 
 // ID returns this rank's index in [0, Size).
@@ -297,14 +301,25 @@ func (r *Rank) MessagesRecv() int64 { return r.msgsRecv }
 func (r *Rank) Tracer() *obs.RankTracer { return r.tr }
 
 // Metrics returns the cluster's metrics registry, nil when
-// observability is off.
-func (r *Rank) Metrics() *obs.Registry { return r.cluster.cfg.Obs.Registry() }
+// observability is off or this is a speculative twin.
+func (r *Rank) Metrics() *obs.Registry {
+	if r.quiet {
+		return nil
+	}
+	return r.cluster.cfg.Obs.Registry()
+}
 
 // Logger returns the cluster's structured event logger, nil when none
 // is attached. Events logged through it carry a "vt" attribute so log
 // lines join against trace spans on the virtual timeline; callers must
 // gate on the nil return, as slog itself has no nil-receiver no-op.
-func (r *Rank) Logger() *slog.Logger { return r.cluster.cfg.Obs.Logger() }
+// Speculative twins are quiet and always return nil.
+func (r *Rank) Logger() *slog.Logger {
+	if r.quiet {
+		return nil
+	}
+	return r.cluster.cfg.Obs.Logger()
+}
 
 // IORetries returns the number of filesystem operations this rank has
 // retried after transient errors.
@@ -317,7 +332,7 @@ func (r *Rank) IORetries() int64 { return r.ioRetries }
 // with the plan's restart penalty added to the virtual clock.
 func (r *Rank) Checkpoint(stage string) bool {
 	p := r.cluster.cfg.Faults
-	if p == nil || !p.OnCheckpoint(r.id, stage, float64(r.clock.Now())) {
+	if r.quiet || p == nil || !p.OnCheckpoint(r.id, stage, float64(r.clock.Now())) {
 		return false
 	}
 	r.failed = true

@@ -1,0 +1,75 @@
+package mpsim
+
+import "parms/internal/vtime"
+
+// PeekArrival reports, without receiving anything, whether a message
+// matching (src, tag) is pending in this rank's mailbox, and the
+// earliest virtual arrival stamp among the matches. It never blocks and
+// never consumes the message.
+//
+// Because sends are eager, a message that was merely delayed is pending
+// from the moment its sender issued it — so after RecvTimeout fails,
+// PeekArrival distinguishes "in flight but late" (pending, arrival past
+// the deadline) from "lost" (absent: dropped, or the sender crashed
+// before sending). The answer for a message that has not been sent yet
+// is a snapshot, bounded the same way RecvTimeout's real-time grace is;
+// speculative recovery treats an absent message as lost, which is safe
+// either way because the recompute path produces the identical subtree.
+func (r *Rank) PeekArrival(src, tag int) (vtime.Time, bool) {
+	r.checkSrc(src)
+	mb := r.cluster.mailboxes[r.id]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	var best vtime.Time
+	found := false
+	for _, m := range mb.pending {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			if !found || m.arrival < best {
+				best = m.arrival
+			}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Speculative returns a quiet twin of this rank for racing a local
+// recovery against a late message. The twin shares the cluster — same
+// filesystem, same cost model, same fault plan for I/O — but carries an
+// independent clock copied from r, so work charged to the twin measures
+// the cost of the speculation without advancing the real rank. The twin
+// does not trace, log, export metrics, or crash at fault-plan
+// checkpoints: a speculation that loses the race must leave no mark on
+// the run beyond the I/O it physically performed.
+//
+// The twin must stay local: it has no mailbox identity of its own, so
+// sending or receiving through it would act as the parent rank.
+func (r *Rank) Speculative() *Rank {
+	twin := &Rank{
+		id:      r.id,
+		cluster: r.cluster,
+		quiet:   true,
+	}
+	twin.clock.AdvanceTo(r.clock.Now())
+	return twin
+}
+
+// Adopt commits a speculative twin's outcome onto the real rank: the
+// clock advances to the twin's (the speculation was on this rank's
+// critical path after all) and the twin's I/O retry tally is folded in.
+// Call it only for the winning twin; losing twins are simply dropped,
+// which is the "cancel" of the speculation protocol.
+func (r *Rank) Adopt(twin *Rank) {
+	r.clock.AdvanceTo(twin.clock.Now())
+	r.ioRetries += twin.ioRetries
+}
+
+// SpeculationCost returns how far the twin's clock has run ahead of the
+// real rank — the modeled price of the speculative work so far.
+func (r *Rank) SpeculationCost(twin *Rank) vtime.Time {
+	d := twin.clock.Now() - r.clock.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,227 @@
+package mpsim
+
+import (
+	"testing"
+
+	"parms/internal/fault"
+	"parms/internal/vtime"
+)
+
+func TestFSRemove(t *testing.T) {
+	fs := NewFS()
+	fs.Put("a", []byte("hello"))
+	n, ok := fs.Remove("a")
+	if !ok || n != 5 {
+		t.Fatalf("Remove(a) = (%d, %v), want (5, true)", n, ok)
+	}
+	if _, err := fs.Get("a"); err == nil {
+		t.Fatal("file still readable after Remove")
+	}
+	if _, ok := fs.Remove("a"); ok {
+		t.Fatal("second Remove reported the file present")
+	}
+}
+
+func TestRankRemoveFileNoClockCharge(t *testing.T) {
+	c, err := New(Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FS().Put("x", []byte{1, 2, 3})
+	_, err = c.Run(func(r *Rank) error {
+		before := r.Clock()
+		n, ok := r.RemoveFile("x")
+		if !ok || n != 3 {
+			t.Errorf("RemoveFile = (%d, %v), want (3, true)", n, ok)
+		}
+		if r.Clock() != before {
+			t.Errorf("RemoveFile charged the clock: %v -> %v", before, r.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekArrival(t *testing.T) {
+	c, err := New(Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(r *Rank) error {
+		const tag = 7
+		if r.ID() == 0 {
+			r.Send(1, tag, []byte("one"))
+			r.Send(1, tag, []byte("two"))
+			return nil
+		}
+		// Rank 1: wait until the eager sends are pending.
+		for {
+			if _, ok := r.PeekArrival(0, tag); ok {
+				break
+			}
+		}
+		arrival, ok := r.PeekArrival(0, tag)
+		if !ok {
+			t.Error("PeekArrival missed a pending message")
+		}
+		if _, ok := r.PeekArrival(0, tag+1); ok {
+			t.Error("PeekArrival matched the wrong tag")
+		}
+		// Peek did not consume: both messages still receivable, and the
+		// first one's arrival matches the peeked (earliest) stamp.
+		before := r.Clock()
+		data, _ := r.Recv(0, tag)
+		if string(data) != "one" {
+			t.Errorf("first recv = %q, want \"one\"", data)
+		}
+		if got := r.Clock() - vtime.Time(r.Machine().RecvOverhead); got != arrival && arrival < before {
+			// Arrival stamps at or before our clock leave it unchanged
+			// modulo overhead; later stamps advance to exactly arrival.
+			t.Errorf("recv clock %v inconsistent with peeked arrival %v", got, arrival)
+		}
+		if data, _ := r.Recv(0, tag); string(data) != "two" {
+			t.Errorf("second recv = %q, want \"two\"", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekArrivalAfterRecvTimeout(t *testing.T) {
+	// A delayed message fails RecvTimeout but stays pending; PeekArrival
+	// then sees it with its late arrival stamp. A dropped message is
+	// absent entirely.
+	plan := fault.NewPlan(1)
+	plan.DelayMessage(0, 1, 1, 50.0) // first 0->1 message late by 50s
+	plan.DropMessage(2, 1, 1)        // first 2->1 message lost
+	c, err := New(Config{Procs: 3, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tag = 3
+	_, err = c.Run(func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			r.Send(1, tag, []byte("late"))
+		case 2:
+			r.Send(1, tag, []byte("lost"))
+		case 1:
+			if _, _, ok := r.RecvTimeout(0, tag, 1.0); ok {
+				t.Error("delayed message beat a 1s deadline")
+			}
+			arrival, pending := r.PeekArrival(0, tag)
+			if !pending {
+				t.Error("delayed message should be pending after timeout")
+			}
+			if arrival <= r.Clock() {
+				t.Errorf("delayed arrival %v not past deadline %v", arrival, r.Clock())
+			}
+			if _, _, ok := r.RecvTimeout(2, tag, 1.0); ok {
+				t.Error("dropped message was delivered")
+			}
+			if _, pending := r.PeekArrival(2, tag); pending {
+				t.Error("dropped message should be absent")
+			}
+			// The late message is still deliverable: a blocking Recv
+			// advances the clock to its stamp.
+			data, _ := r.Recv(0, tag)
+			if string(data) != "late" {
+				t.Errorf("late recv = %q", data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeculativeTwin(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.CrashRank(0, "spec-stage")
+	c, err := New(Config{Procs: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FS().Put("f", make([]byte, 1000))
+	_, err = c.Run(func(r *Rank) error {
+		r.Elapse(2.0)
+		twin := r.Speculative()
+		if twin.Clock() != r.Clock() {
+			t.Errorf("twin clock %v != parent %v", twin.Clock(), r.Clock())
+		}
+		if twin.ID() != r.ID() {
+			t.Errorf("twin id %d != parent %d", twin.ID(), r.ID())
+		}
+		// Twin is quiet: no logger, no metrics, no fault-plan crashes.
+		if twin.Logger() != nil || twin.Metrics() != nil {
+			t.Error("quiet twin exposes observability")
+		}
+		if twin.Checkpoint("spec-stage") {
+			t.Error("quiet twin crashed at a fault-plan checkpoint")
+		}
+		if twin.Failed() {
+			t.Error("twin marked failed")
+		}
+		// Twin work charges only the twin.
+		parentBefore := r.Clock()
+		if _, err := twin.IndependentRead("f", 0, 1000); err != nil {
+			t.Errorf("twin read: %v", err)
+		}
+		twin.Elapse(3.0)
+		if r.Clock() != parentBefore {
+			t.Error("twin work advanced the parent clock")
+		}
+		cost := r.SpeculationCost(twin)
+		if cost <= 3.0 {
+			t.Errorf("speculation cost %v, want > 3s (read + elapse)", cost)
+		}
+		// Adopt commits the twin's time onto the parent.
+		r.Adopt(twin)
+		if r.Clock() != twin.Clock() {
+			t.Errorf("after Adopt parent %v != twin %v", r.Clock(), twin.Clock())
+		}
+		// The real rank still crashes at the plan's checkpoint.
+		if !r.Checkpoint("spec-stage") {
+			t.Error("real rank missed its planned crash")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdoptFoldsIORetries(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.FailRead("flaky", 2) // two transient failures
+	c, err := New(Config{Procs: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FS().Put("flaky", make([]byte, 10))
+	_, err = c.Run(func(r *Rank) error {
+		twin := r.Speculative()
+		if _, err := twin.IndependentRead("flaky", 0, 10); err != nil {
+			t.Errorf("twin read: %v", err)
+		}
+		if twin.IORetries() != 2 {
+			t.Errorf("twin retries = %d, want 2", twin.IORetries())
+		}
+		if r.IORetries() != 0 {
+			t.Errorf("parent retries = %d before Adopt", r.IORetries())
+		}
+		r.Adopt(twin)
+		if r.IORetries() != 2 {
+			t.Errorf("parent retries = %d after Adopt, want 2", r.IORetries())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

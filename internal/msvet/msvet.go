@@ -74,6 +74,7 @@ func Analyzers() []*Analyzer {
 		DroppederrAnalyzer,
 		RawframeAnalyzer,
 		SpanbalanceAnalyzer,
+		OwnerAnalyzer,
 	}
 }
 

@@ -77,6 +77,27 @@ func TestSpanbalanceFixture(t *testing.T) {
 	checkFixture(t, "spanbalance", "parms/internal/pipeline", []*Analyzer{SpanbalanceAnalyzer}, false)
 }
 
+func TestOwnerFixture(t *testing.T) {
+	checkFixture(t, "owner", "parms/internal/pipeline", []*Analyzer{OwnerAnalyzer}, false)
+}
+
+func TestOwnerExemptInGridPackage(t *testing.T) {
+	// The same fixture under the grid path must be silent: the block-
+	// cyclic helpers' home package (and its tests) may call them freely.
+	l := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "owner"), "parms/internal/grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(p, []*Analyzer{OwnerAnalyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("owner ran inside internal/grid: %v", findings)
+	}
+}
+
 func TestRawframeExemptInFramingPackages(t *testing.T) {
 	l := fixtureLoader(t)
 	p, err := l.LoadDir(filepath.Join("testdata", "rawframe"), "parms/internal/pario")
@@ -157,7 +178,7 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerMetadata keeps names and docs wired: names are the allow
 // grammar's vocabulary, so they must be stable and non-empty.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance"}
+	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance", "owner"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

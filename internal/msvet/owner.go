@@ -1,0 +1,43 @@
+package msvet
+
+import (
+	"go/ast"
+)
+
+// OwnerAnalyzer flags direct calls to grid.RankOfBlock or
+// grid.AssignBlocks outside internal/grid. Those helpers hard-code the
+// initial block-cyclic layout; once a run can migrate blocks off a
+// crashed rank (DESIGN §13) the layout is dynamic, and any code that
+// consults the static formula silently disagrees with the ownership
+// table after the first migration — sends address the wrong rank,
+// output writers drop migrated blocks, analyses misattribute waits.
+// Everything outside internal/grid must go through grid.OwnerTable
+// (Owner / Blocks), which starts block-cyclic and tracks migrations.
+var OwnerAnalyzer = &Analyzer{
+	Name: "owner",
+	Doc: "flags direct grid.RankOfBlock/AssignBlocks calls outside internal/grid; " +
+		"block ownership must be resolved through grid.OwnerTable so migration is honored",
+	Applies: func(pkgPath string) bool { return pkgPath != "parms/internal/grid" },
+	Run:     runOwner,
+}
+
+func runOwner(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := pkgFunc(pass.Info, call); pkg == "parms/internal/grid" {
+				switch name {
+				case "RankOfBlock", "AssignBlocks":
+					pass.Reportf(call.Pos(),
+						"grid.%s hard-codes the initial block-cyclic layout in %s; resolve ownership through grid.OwnerTable so migrations are honored",
+						name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

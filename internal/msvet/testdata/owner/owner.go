@@ -1,0 +1,28 @@
+// Fixture for the owner analyzer: direct block-cyclic ownership math
+// outside internal/grid. Imports the real grid package so resolution is
+// exercised against the true function objects. The harness type-checks
+// this under a non-grid path.
+package owner
+
+import "parms/internal/grid"
+
+func badRankOf(block, procs int) int {
+	return grid.RankOfBlock(block, procs) // want `owner: grid\.RankOfBlock hard-codes the initial block-cyclic layout`
+}
+
+func badAssign(nblocks, procs, rank int) []int {
+	return grid.AssignBlocks(nblocks, procs, rank) // want `owner: grid\.AssignBlocks hard-codes the initial block-cyclic layout`
+}
+
+func goodTable(nblocks, procs, block, rank int) ([]int, int) {
+	// The ownership table is the sanctioned resolver: it starts
+	// block-cyclic and follows migrations.
+	tab := grid.NewOwnerTable(nblocks, procs)
+	return tab.Blocks(rank), tab.Owner(block)
+}
+
+func goodOtherGridCalls(nblocks, procs int) int {
+	// Unrelated grid helpers stay legal.
+	tab := grid.NewOwnerTableAvoiding(nblocks, procs, nil)
+	return tab.Version()
+}

@@ -217,6 +217,10 @@ type analysis struct {
 	radices []int
 	sched   merge.Schedule
 	total   float64
+	// owners is the run's ownership table rebuilt from the trace: the
+	// initial block-cyclic layout with every fault:migrate instant
+	// replayed in timestamp order.
+	owners *grid.OwnerTable
 
 	// windows[rank][round] is the round:k span interval on that rank.
 	windows [][]window
@@ -383,6 +387,41 @@ func newAnalysis(in *Input, cfg Config) *analysis {
 		a.nblocks = a.procs
 	}
 
+	// Rebuild the ownership table from the trace: each migration is one
+	// fault:migrate instant on the adopting rank's track. Replaying them
+	// in (time, block) order reproduces the table's final state; spans
+	// from before a block migrated are attributed to the final owner,
+	// an approximation that only matters for the (rare) migrated blocks.
+	a.owners = grid.NewOwnerTable(a.nblocks, a.procs)
+	type migEvent struct {
+		at        float64
+		block, to int
+	}
+	var migs []migEvent
+	for rank := 0; rank < a.procs; rank++ {
+		for _, inst := range in.Instants[rank] {
+			if inst.Name != "fault:migrate" {
+				continue
+			}
+			b, okB := attrInt(inst.Attrs, "block")
+			to, okTo := attrInt(inst.Attrs, "to")
+			if okB && okTo {
+				migs = append(migs, migEvent{float64(inst.Ts), int(b), int(to)})
+			}
+		}
+	}
+	sort.Slice(migs, func(i, j int) bool {
+		if migs[i].at != migs[j].at {
+			return migs[i].at < migs[j].at
+		}
+		return migs[i].block < migs[j].block
+	})
+	for _, mg := range migs {
+		if mg.block >= 0 && mg.block < a.nblocks && mg.to >= 0 && mg.to < a.procs {
+			_ = a.owners.Migrate(mg.block, mg.to)
+		}
+	}
+
 	// Pass 2: round windows per rank, then assign the merge sub-spans
 	// to rounds by containment in the recording rank's window.
 	a.windows = make([][]window, a.procs)
@@ -488,8 +527,15 @@ func (a *analysis) prevEnd(rank int, t float64) float64 {
 	return ends[i-1]
 }
 
-// ownerOf is the block-cyclic block-to-rank assignment of the run.
-func (a *analysis) ownerOf(block int) int { return grid.RankOfBlock(block, a.procs) }
+// ownerOf is the block-to-rank assignment of the run per the
+// reconstructed ownership table: block-cyclic, with any observed
+// migrations applied.
+func (a *analysis) ownerOf(block int) int {
+	if block < 0 || block >= a.owners.NumBlocks() {
+		return block % a.procs
+	}
+	return a.owners.Owner(block)
+}
 
 // stageDurations returns each rank's total duration of the named spans.
 func (a *analysis) stageDurations(name string) []float64 {

@@ -66,6 +66,24 @@ type Params struct {
 	// CheckpointDir is the checkpoint directory on the simulated
 	// filesystem; empty selects "ckpt".
 	CheckpointDir string
+	// CheckpointGC reclaims superseded checkpoint rounds: once a root's
+	// newer state is safely on disk, the older checkpoints it covers
+	// are deleted (see merge.Checkpoint.GC).
+	CheckpointGC bool
+	// Migrate moves a crashed rank's blocks onto healthy ranks through
+	// the run's ownership table instead of recovering them in place on
+	// the restarted rank (see merge.Options.Migrate). Off by default.
+	Migrate bool
+	// Speculate races a local recompute against a still-pending late
+	// payload whenever a merge receive times out, committing whichever
+	// finishes earlier on the virtual clock (see
+	// merge.Options.Speculate). Off by default.
+	Speculate bool
+	// AvoidRanks seeds the ownership table's initial rotation away from
+	// the listed ranks — typically a previous run's
+	// analyze Recommendation.AvoidRanks — so known stragglers start the
+	// run owning no blocks. They still participate in all collectives.
+	AvoidRanks []int
 	// Source, when non-nil, supplies each block's samples directly
 	// instead of reading File from storage — the in-situ mode of the
 	// paper's future work (section VII-B), where the simulation that
@@ -193,8 +211,17 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	sched merge.Schedule, res *Result, mu *sync.Mutex) error {
 
 	nblocks := dec.NumBlocks()
-	myBlocks := grid.AssignBlocks(nblocks, r.Size(), r.ID())
-	maxPerRank := (nblocks + r.Size() - 1) / r.Size()
+	// Every rank builds an identical replica of the ownership table;
+	// Execute applies only deterministic, collectively-agreed updates,
+	// so the replicas never diverge.
+	owners := grid.NewOwnerTableAvoiding(nblocks, r.Size(), p.AvoidRanks)
+	myBlocks := owners.Blocks(r.ID())
+	maxPerRank := 0
+	for rank := 0; rank < r.Size(); rank++ {
+		if n := len(owners.Blocks(rank)); n > maxPerRank {
+			maxPerRank = n
+		}
+	}
 
 	report := &fault.Report{}
 	// Fault tolerance engages when the cluster carries a fault plan or
@@ -348,13 +375,18 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	rawNodes := int(r.AllreduceFloat64(float64(rawLocal), "sum"))
 
 	// --- Merge rounds (section IV-F) ---
-	mopts := merge.Options{Threshold: p.Persistence, Report: report}
+	mopts := merge.Options{
+		Threshold: p.Persistence, Report: report, Owners: owners,
+		Migrate: p.Migrate, Speculate: p.Speculate,
+	}
 	if p.CheckpointEvery > 0 {
-		mopts.Checkpoint = &merge.Checkpoint{Dir: p.CheckpointDir, Every: p.CheckpointEvery}
+		mopts.Checkpoint = &merge.Checkpoint{
+			Dir: p.CheckpointDir, Every: p.CheckpointEvery, GC: p.CheckpointGC,
+		}
 	}
 	if ft {
 		mopts.Timeout = vtime.Time(timeout)
-		mopts.Recompute = recomputeBlock(r, c, p, dec, report)
+		mopts.Recompute = recomputeBlock(c, p, dec)
 	}
 	rounds, err := merge.Execute(r, sched, nblocks, complexes, mopts)
 	if err != nil {
@@ -371,7 +403,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 		}
 		report.RankCrashes++
 	}
-	outBytes, entries, err := writeOutput(r, c, p.OutFile, nblocks, sched, complexes, mopts)
+	outBytes, entries, err := writeOutput(r, c, p.OutFile, nblocks, sched, owners, complexes, mopts)
 	if err != nil {
 		return err
 	}
@@ -399,18 +431,25 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	// lists gathered at rank 0 and normalized there.
 	report.IORetries += int(r.IORetries())
 	agg := fault.Report{
-		RankCrashes:         int(r.AllreduceFloat64(float64(report.RankCrashes), "sum")),
-		Timeouts:            int(r.AllreduceFloat64(float64(report.Timeouts), "sum")),
-		Corruptions:         int(r.AllreduceFloat64(float64(report.Corruptions), "sum")),
-		Recomputes:          int(r.AllreduceFloat64(float64(report.Recomputes), "sum")),
-		RecomputeCells:      int64(r.AllreduceFloat64(float64(report.RecomputeCells), "sum")),
-		CheckpointRestores:  int(r.AllreduceFloat64(float64(report.CheckpointRestores), "sum")),
-		CheckpointBytesRead: int64(r.AllreduceFloat64(float64(report.CheckpointBytesRead), "sum")),
-		CheckpointFallbacks: int(r.AllreduceFloat64(float64(report.CheckpointFallbacks), "sum")),
-		IORetries:           int(r.AllreduceFloat64(float64(report.IORetries), "sum")),
+		RankCrashes:                 int(r.AllreduceFloat64(float64(report.RankCrashes), "sum")),
+		Timeouts:                    int(r.AllreduceFloat64(float64(report.Timeouts), "sum")),
+		Corruptions:                 int(r.AllreduceFloat64(float64(report.Corruptions), "sum")),
+		Recomputes:                  int(r.AllreduceFloat64(float64(report.Recomputes), "sum")),
+		RecomputeCells:              int64(r.AllreduceFloat64(float64(report.RecomputeCells), "sum")),
+		CheckpointRestores:          int(r.AllreduceFloat64(float64(report.CheckpointRestores), "sum")),
+		CheckpointBytesRead:         int64(r.AllreduceFloat64(float64(report.CheckpointBytesRead), "sum")),
+		CheckpointFallbacks:         int(r.AllreduceFloat64(float64(report.CheckpointFallbacks), "sum")),
+		IORetries:                   int(r.AllreduceFloat64(float64(report.IORetries), "sum")),
+		TimeoutWaitSeconds:          r.AllreduceFloat64(report.TimeoutWaitSeconds, "sum"),
+		Migrations:                  int(r.AllreduceFloat64(float64(report.Migrations), "sum")),
+		SpeculationPayloadWins:      int(r.AllreduceFloat64(float64(report.SpeculationPayloadWins), "sum")),
+		SpeculationRecomputeWins:    int(r.AllreduceFloat64(float64(report.SpeculationRecomputeWins), "sum")),
+		SpeculationCancelledSeconds: r.AllreduceFloat64(report.SpeculationCancelledSeconds, "sum"),
+		CheckpointsGCed:             int(r.AllreduceFloat64(float64(report.CheckpointsGCed), "sum")),
+		CheckpointGCBytes:           int64(r.AllreduceFloat64(float64(report.CheckpointGCBytes), "sum")),
 	}
 	var listMsg []byte
-	for _, list := range [][]int{report.LostBlocks, report.RecoveredBlocks, report.RestoredBlocks} {
+	for _, list := range [][]int{report.LostBlocks, report.RecoveredBlocks, report.RestoredBlocks, report.MigratedBlocks} {
 		listMsg = appendU64(listMsg, uint64(len(list)))
 		for _, b := range list {
 			listMsg = appendU64(listMsg, uint64(b))
@@ -418,7 +457,7 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 	}
 	for _, msg := range r.Gather(0, listMsg) {
 		o := 0
-		for _, dst := range []*[]int{&agg.LostBlocks, &agg.RecoveredBlocks, &agg.RestoredBlocks} {
+		for _, dst := range []*[]int{&agg.LostBlocks, &agg.RecoveredBlocks, &agg.RestoredBlocks, &agg.MigratedBlocks} {
 			n := int(u64At(msg, o))
 			o += 8
 			for j := 0; j < n; j++ {
@@ -464,11 +503,12 @@ func rankProgram(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposit
 // block's simplified, compacted complex from source data. The compute
 // stage is deterministic, so the result is identical to the complex the
 // block originally produced. The re-read and recompute costs are
-// charged to the calling rank's virtual clock.
-func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decomposition,
-	report *fault.Report) func(bid int) (*mscomplex.Complex, error) {
+// charged to the rank the callback is invoked with — the real rank on
+// the ordinary recovery path, a quiet speculative twin (with a scratch
+// report) during a speculation race.
+func recomputeBlock(c *mpsim.Cluster, p Params, dec *grid.Decomposition) func(rk *mpsim.Rank, rep *fault.Report, bid int) (*mscomplex.Complex, error) {
 
-	return func(bid int) (*mscomplex.Complex, error) {
+	return func(rk *mpsim.Rank, rep *fault.Report, bid int) (*mscomplex.Complex, error) {
 		b := dec.Blocks[bid]
 		var vol *grid.Volume
 		if p.Source != nil {
@@ -479,9 +519,11 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 			vol = v
 		} else {
 			v, retries, err := pario.ReadBlockVolumeStats(c.FS(), p.File, p.Dims, p.DType, b)
-			report.IORetries += retries
+			if rep != nil {
+				rep.IORetries += retries
+			}
 			if retries > 0 {
-				r.Tracer().Instant("fault:io_retry", r.Clock(),
+				rk.Tracer().Instant("fault:io_retry", rk.Clock(),
 					obs.I("block", int64(bid)), obs.I("retries", int64(retries)))
 			}
 			if err != nil {
@@ -490,7 +532,7 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 			// An independent (non-collective) re-read: this rank alone
 			// pays the transfer time.
 			nbytes := pario.BlockBytes(p.DType, b)
-			r.Elapse(float64(r.Machine().IOTime(nbytes, nbytes)))
+			rk.Elapse(float64(rk.Machine().IOTime(nbytes, nbytes)))
 			vol = v
 		}
 		cc := cube.New(p.Dims, b, vol)
@@ -500,28 +542,31 @@ func recomputeBlock(r *mpsim.Rank, c *mpsim.Cluster, p Params, dec *grid.Decompo
 		compacted := ms.Compact()
 		w := field.Work
 		w.Add(compacted.Work)
-		r.Compute(w)
+		rk.Compute(w)
 		// The gradient cells live in field.Work, not the complex's
 		// ledger — record them here so the recompute budget is visible.
-		report.RecomputeCells += field.Work.CellsVisited
+		if rep != nil {
+			rep.RecomputeCells += field.Work.CellsVisited
+		}
 		return compacted, nil
 	}
 }
 
 // writeOutput performs the collective write of surviving blocks plus the
 // footer, and returns the file size and index (index only on rank 0).
-// A surviving block missing from complexes (lost to a crash at the
-// write checkpoint) is recovered through mopts — newest valid merge
-// checkpoint first, recompute fallback — before serialization.
+// Each surviving block is written by its current owner per the
+// ownership table — the rank holding its merged complex even after
+// migrations. A surviving block missing from complexes (lost to a crash
+// at the write checkpoint) is recovered through mopts — newest valid
+// merge checkpoint first, recompute fallback — before serialization.
 func writeOutput(r *mpsim.Rank, c *mpsim.Cluster, name string, nblocks int,
-	sched merge.Schedule, complexes map[int]*mscomplex.Complex, mopts merge.Options) (int64, []pario.IndexEntry, error) {
+	sched merge.Schedule, owners *grid.OwnerTable, complexes map[int]*mscomplex.Complex, mopts merge.Options) (int64, []pario.IndexEntry, error) {
 
 	survivors := sched.Survivors(nblocks)
 	maxPerRank := 0
 	perRank := make([][]int, r.Size())
 	for _, b := range survivors {
-		owner := grid.RankOfBlock(b, r.Size())
-		perRank[owner] = append(perRank[owner], b)
+		perRank[owners.Owner(b)] = append(perRank[owners.Owner(b)], b)
 	}
 	for _, list := range perRank {
 		if len(list) > maxPerRank {

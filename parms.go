@@ -180,6 +180,27 @@ type Options struct {
 	// CheckpointDir is the checkpoint directory on the simulated
 	// filesystem (default "ckpt").
 	CheckpointDir string
+	// CheckpointGC deletes checkpoints superseded by newer rounds as
+	// soon as the newer round is safely on disk, bounding checkpoint
+	// storage (see FaultReport.CheckpointsGCed).
+	CheckpointGC bool
+	// Migrate moves a crashed rank's blocks to healthy ranks chosen by
+	// load through the run's block ownership table; the new owners
+	// restore the blocks from the dead rank's checkpoints or recompute
+	// them (see FaultReport.Migrations). Off by default — the per-round
+	// failure exchange costs one collective, so fault-free modeled
+	// times are unchanged unless asked for.
+	Migrate bool
+	// Speculate races a local recompute of a late merge subtree against
+	// its still-pending payload when a receive times out, committing
+	// whichever completes earlier on the virtual clock (see
+	// FaultReport.SpeculationPayloadWins / SpeculationRecomputeWins).
+	Speculate bool
+	// AvoidRanks seeds the ownership table's initial block rotation
+	// away from the listed ranks (typically a prior run's
+	// Recommendation.AvoidRanks from msinsight), so known stragglers
+	// start the run owning no blocks.
+	AvoidRanks []int
 	// Trace enables per-rank span tracing and the metrics registry.
 	// The run then populates Result.Trace and Result.Metrics; export
 	// them with WriteChromeTrace / WritePrometheus. When false (the
@@ -294,6 +315,10 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		MergeTimeout:    opt.MergeTimeout,
 		CheckpointEvery: opt.CheckpointEvery,
 		CheckpointDir:   opt.CheckpointDir,
+		CheckpointGC:    opt.CheckpointGC,
+		Migrate:         opt.Migrate,
+		Speculate:       opt.Speculate,
+		AvoidRanks:      opt.AvoidRanks,
 	})
 	if err != nil {
 		return nil, err
@@ -359,6 +384,10 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		MergeTimeout:    opt.MergeTimeout,
 		CheckpointEvery: opt.CheckpointEvery,
 		CheckpointDir:   opt.CheckpointDir,
+		CheckpointGC:    opt.CheckpointGC,
+		Migrate:         opt.Migrate,
+		Speculate:       opt.Speculate,
+		AvoidRanks:      opt.AvoidRanks,
 		Source: func(b grid.Block) (*Volume, error) {
 			return source(b.Lo, b.Hi), nil
 		},
