@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-short chaos chaos-nightly fuzz vet msvet lint trace insight bench benchgate microbench clean
+.PHONY: all build test race race-short chaos chaos-nightly fuzz vet msvet lint trace insight flows bench benchgate microbench clean
 
 all: lint build test
 
@@ -62,13 +62,14 @@ lint:
 
 # One small traced pipeline run: generate a sinusoid volume, run msc
 # with tracing and metrics on 16 ranks, then validate the trace JSON
-# (well-formed, monotonic timestamps per track). Artifacts: trace.json,
-# metrics.prom.
+# (well-formed, monotonic timestamps per track, every flow start paired
+# with exactly one finish). Artifacts: trace.json, metrics.prom,
+# flows.json.
 trace:
 	$(GO) run ./cmd/mkdata -kind sinusoid -n 33 -features 4 -o /tmp/parms-trace.raw
 	$(GO) run ./cmd/msc -in /tmp/parms-trace.raw -dims 33x33x33 -procs 16 -merge full \
-		-trace trace.json -metrics metrics.prom -out /tmp/parms-trace.msc
-	$(GO) run ./cmd/tracecheck trace.json
+		-trace trace.json -metrics metrics.prom -flows flows.json -out /tmp/parms-trace.msc
+	$(GO) run ./cmd/tracecheck -flows trace.json
 
 # Trace analytics over the canned traced run: critical path, straggler
 # flags, per-round merge attribution, and the tuning recommendation —
@@ -77,6 +78,13 @@ trace:
 insight: trace
 	$(GO) run ./cmd/msinsight -trace trace.json -metrics metrics.prom
 	$(GO) run ./cmd/msinsight -trace trace.json -metrics metrics.prom -json > insight.json
+
+# The message-flow view of the canned traced run: the rank×rank
+# communication matrix and the bucketed virtual-time timeline, rebuilt
+# from the trace's flow events (plus the raw flows.json dump the trace
+# target already wrote).
+flows: trace
+	$(GO) run ./cmd/msinsight -trace trace.json -flows
 
 # Traced strong-scaling sweep; writes a BENCH_<timestamp>.json snapshot
 # with per-stage times, imbalance ratios, and communication volumes.

@@ -16,9 +16,11 @@
 // events as instants) and prints a per-stage summary table; -metrics
 // out.prom writes a Prometheus-style text dump of the run's counters,
 // gauges and histograms; -events out.jsonl streams structured run
-// events (log/slog JSON, virtual-time stamped); -listen :9151 serves
-// live introspection over HTTP (/healthz, /metrics, /trace, /insight,
-// /debug/pprof) for the duration of the run.
+// events (log/slog JSON, virtual-time stamped); -flows flows.json dumps
+// the per-message causal flow records (sampled with -flow-sample);
+// -listen :9151 serves live introspection over HTTP (/healthz,
+// /metrics, /trace, /flows, /timeline, /insight, /debug/pprof) for the
+// duration of the run.
 package main
 
 import (
@@ -49,6 +51,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "host goroutine bound (0 = unbounded)")
 	measured := flag.Bool("measured", false, "report real wall-clock compute times instead of modeled Blue Gene/P times")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run")
+	flowsOut := flag.String("flows", "", "write the per-message causal flow records as JSON")
+	flowSample := flag.Int("flow-sample", 0, "flow sampling stride: 0/1 record every message, n>1 keep every n-th per emitter, <0 count only")
 	metricsOut := flag.String("metrics", "", "write a Prometheus-style text dump of the run's metrics")
 	eventsOut := flag.String("events", "", "write structured run events (slog JSON lines, virtual-time stamped)")
 	listen := flag.String("listen", "", `serve live introspection over HTTP during the run (e.g. ":9151" or ":0")`)
@@ -91,8 +95,11 @@ func main() {
 	}
 
 	var ob *obs.Observer
-	if *traceOut != "" || *metricsOut != "" || *eventsOut != "" || *listen != "" {
+	if *traceOut != "" || *flowsOut != "" || *metricsOut != "" || *eventsOut != "" || *listen != "" {
 		ob = obs.New(*procs)
+		if *flowSample != 0 {
+			ob.FlowRecorder().SetSample(*flowSample)
+		}
 	}
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
@@ -107,7 +114,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("listening  http://%s (/healthz /metrics /trace /insight /debug/pprof)\n", srv.Addr())
+		fmt.Printf("listening  http://%s (/healthz /metrics /trace /flows /timeline /insight /debug/pprof)\n", srv.Addr())
 		defer func() {
 			if err := srv.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "msc: introspection server: %v\n", err)
@@ -185,6 +192,10 @@ func main() {
 		fmt.Printf("trace      %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 		fmt.Println()
 		obs.WriteStageStats(os.Stdout, res.Trace.StageStats(pipeline.StageSpanNames...))
+	}
+	if *flowsOut != "" {
+		writeFile(*flowsOut, func(f *os.File) error { return res.Trace.Flows().WriteFlowsJSON(f) })
+		fmt.Printf("flows      %s (%d message(s) started)\n", *flowsOut, res.Trace.Flows().Started())
 	}
 	if *metricsOut != "" {
 		writeFile(*metricsOut, func(f *os.File) error { return res.Metrics.WritePrometheus(f) })

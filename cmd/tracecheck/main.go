@@ -2,17 +2,25 @@
 // emitted by msc -trace or Tracer.WriteChromeTrace: the file must be
 // well-formed JSON with a traceEvents array, every event needs a known
 // phase and a non-negative timestamp, durations must be non-negative,
-// and complete ("X") event timestamps must be monotonically
-// non-decreasing within each (pid, tid) track. It prints a per-track
-// summary and exits nonzero on any violation, so CI can gate on it.
+// complete ("X") event timestamps must be monotonically non-decreasing
+// within each (pid, tid) track, and flow events must pair up — every
+// start ("s") needs exactly one matching finish ("f") with a
+// non-decreasing timestamp, and no finish may lack a start. It prints a
+// per-track summary and exits nonzero on any violation, so CI can gate
+// on it.
 //
 // Usage:
 //
-//	tracecheck trace.json
+//	tracecheck [-flows] trace.json
+//
+// With -flows the file must additionally contain at least one flow
+// pair, catching traces accidentally exported without the message
+// records.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -26,6 +34,8 @@ type traceFile struct {
 type traceEvent struct {
 	Name string   `json:"name"`
 	Ph   string   `json:"ph"`
+	Cat  string   `json:"cat"`
+	Id   string   `json:"id"`
 	Pid  int      `json:"pid"`
 	Tid  int      `json:"tid"`
 	Ts   *float64 `json:"ts"`
@@ -40,24 +50,39 @@ type trackInfo struct {
 	minTs, maxEnd   float64
 }
 
+// flowInfo tracks one flow id's pairing state across the file.
+type flowInfo struct {
+	starts, finishes int
+	startTs          float64
+	firstEvent       int // index of the first event with this id, for messages
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+	requireFlows := flag.Bool("flows", false, "require at least one flow start/finish pair")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-flows] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
 	}
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		fail("%s: not valid JSON: %v", os.Args[1], err)
+		fail("%s: not valid JSON: %v", path, err)
 	}
 	if tf.TraceEvents == nil {
-		fail("%s: no traceEvents array", os.Args[1])
+		fail("%s: no traceEvents array", path)
 	}
 
 	tracks := make(map[trackKey]*trackInfo)
+	flows := make(map[string]*flowInfo)
 	violations := 0
 	complain := func(i int, ev traceEvent, format string, args ...interface{}) {
 		violations++
@@ -68,7 +93,7 @@ func main() {
 		switch ev.Ph {
 		case "M": // metadata carries no timestamp
 			continue
-		case "X", "i":
+		case "X", "i", "s", "f":
 		default:
 			complain(i, ev, "unknown phase %q", ev.Ph)
 			continue
@@ -107,10 +132,59 @@ func main() {
 			end += *ev.Dur
 		case "i":
 			tr.instants++
+		case "s":
+			if ev.Id == "" {
+				complain(i, ev, "flow start missing id")
+				continue
+			}
+			fl := flows[ev.Id]
+			if fl == nil {
+				fl = &flowInfo{firstEvent: i}
+				flows[ev.Id] = fl
+			}
+			fl.starts++
+			fl.startTs = *ev.Ts
+			if fl.starts > 1 {
+				complain(i, ev, "duplicate flow start id %s", ev.Id)
+			}
+		case "f":
+			if ev.Id == "" {
+				complain(i, ev, "flow finish missing id")
+				continue
+			}
+			fl := flows[ev.Id]
+			if fl == nil || fl.starts == 0 {
+				complain(i, ev, "flow finish id %s has no start", ev.Id)
+				continue
+			}
+			fl.finishes++
+			if fl.finishes > 1 {
+				complain(i, ev, "duplicate flow finish id %s", ev.Id)
+			}
+			if *ev.Ts < fl.startTs {
+				complain(i, ev, "flow finish ts %g precedes start ts %g", *ev.Ts, fl.startTs)
+			}
 		}
 		if end > tr.maxEnd {
 			tr.maxEnd = end
 		}
+	}
+	// Every start must have found its finish.
+	pairs := 0
+	orphanIDs := make([]string, 0)
+	for id, fl := range flows {
+		if fl.starts > 0 && fl.finishes == 1 {
+			pairs++
+		}
+		if fl.finishes == 0 {
+			orphanIDs = append(orphanIDs, id)
+		}
+	}
+	sort.Strings(orphanIDs)
+	for _, id := range orphanIDs {
+		violations++
+		fmt.Fprintf(os.Stderr, "tracecheck: event %d: flow start id %s never finishes\n",
+			flows[id].firstEvent, id)
 	}
 
 	keys := make([]trackKey, 0, len(tracks))
@@ -123,11 +197,14 @@ func main() {
 		}
 		return keys[i].tid < keys[j].tid
 	})
-	fmt.Printf("%s: %d events, %d tracks\n", os.Args[1], len(tf.TraceEvents), len(tracks))
+	fmt.Printf("%s: %d events, %d tracks, %d flow pair(s)\n", path, len(tf.TraceEvents), len(tracks), pairs)
 	for _, k := range keys {
 		tr := tracks[k]
 		fmt.Printf("  pid %d tid %d: %d spans, %d instants, [%.3f, %.3f] us\n",
 			k.pid, k.tid, tr.spans, tr.instants, tr.minTs, tr.maxEnd)
+	}
+	if *requireFlows && pairs == 0 {
+		fail("-flows: no flow pairs in %s", path)
 	}
 	if violations > 0 {
 		fail("%d violation(s)", violations)

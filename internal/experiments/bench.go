@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"parms/internal/fault"
 	"parms/internal/mpsim"
+	"parms/internal/obs"
 	"parms/internal/pario"
 	"parms/internal/pipeline"
 	"parms/internal/synth"
@@ -64,6 +66,28 @@ type FaultDrill struct {
 	Nodes                       [4]int  `json:"nodes"`
 }
 
+// TracerOverhead is the flow-recorder cost probe attached to the bench
+// snapshot: the same 64-rank run executed twice, once recording every
+// message flow and once with the recorder in count-only mode. Flow
+// instrumentation reads the virtual clocks but never advances them, so
+// the virtual-time overhead must be exactly zero; the allocation
+// overhead of storing the records is measured and gated under 5%.
+type TracerOverhead struct {
+	Procs         int   `json:"procs"`
+	FlowsStarted  int64 `json:"flows_started"`
+	FlowsRecorded int   `json:"flows_recorded"`
+	FlowBytes     int64 `json:"flow_bytes"`
+	// TracedSeconds and CountOnlySeconds are the modeled totals of the
+	// recording and count-only runs; their difference is the virtual
+	// overhead (always 0 — committed so the gate proves it stays 0).
+	TracedSeconds          float64 `json:"traced_seconds"`
+	CountOnlySeconds       float64 `json:"count_only_seconds"`
+	VirtualOverheadSeconds float64 `json:"virtual_overhead_seconds"`
+	// AllocOverheadFrac is (traced - count-only) / count-only host
+	// allocations — the only measured (non-deterministic) field.
+	AllocOverheadFrac float64 `json:"alloc_overhead_frac"`
+}
+
 // BenchResult is the full sweep, JSON-serializable for trend tracking.
 type BenchResult struct {
 	Dataset   string     `json:"dataset"`
@@ -72,8 +96,10 @@ type BenchResult struct {
 	Runs      []BenchRun `json:"runs"`
 	// FaultDrill is absent in snapshots taken before the migration /
 	// speculation work landed; the gate only compares it when the
-	// baseline carries one.
-	FaultDrill *FaultDrill `json:"fault_drill,omitempty"`
+	// baseline carries one. TracerOverhead likewise dates from the flow
+	// tracing work.
+	FaultDrill     *FaultDrill     `json:"fault_drill,omitempty"`
+	TracerOverhead *TracerOverhead `json:"tracer_overhead,omitempty"`
 }
 
 // Bench runs a traced strong-scaling sweep (sinusoid dataset, full
@@ -144,7 +170,73 @@ func Bench(cfg Config) (*BenchResult, error) {
 		return nil, err
 	}
 	out.FaultDrill = drill
+	cfg.logf("bench: tracer overhead\n")
+	overhead, err := benchTracerOverhead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.TracerOverhead = overhead
 	return out, nil
+}
+
+// benchTracerOverhead runs the flow-recorder cost probe: one 64-rank
+// full-merge run with every message flow recorded, and the identical
+// run with the recorder in count-only mode (sequence counters advance,
+// nothing is stored). Virtual times must agree bit-for-bit; the host
+// allocation delta between the two runs is the price of keeping the
+// records.
+func benchTracerOverhead(cfg Config) (*TracerOverhead, error) {
+	const procs = 64
+	vol := synth.Sinusoid(33, 4)
+	run := func(sample int) (*pipeline.Result, uint64, error) {
+		ob := obs.New(procs)
+		ob.FlowRecorder().SetSample(sample)
+		cluster, err := mpsim.New(mpsim.Config{Procs: procs, MaxParallel: cfg.maxParallel(), Obs: ob})
+		if err != nil {
+			return nil, 0, err
+		}
+		pario.WriteVolume(cluster.FS(), "volume.raw", vol)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res, err := pipeline.Run(cluster, pipeline.Params{
+			File:        "volume.raw",
+			Dims:        vol.Dims,
+			DType:       vol.DType,
+			Blocks:      procs,
+			Radices:     []int{8, 8},
+			Persistence: 0.1,
+			OutFile:     "overhead.msc",
+		})
+		runtime.ReadMemStats(&m1)
+		return res, m1.TotalAlloc - m0.TotalAlloc, err
+	}
+	traced, tracedAlloc, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	counted, countedAlloc, err := run(-1)
+	if err != nil {
+		return nil, err
+	}
+	flows := traced.Trace.Flows().Flows()
+	var flowBytes int64
+	for _, f := range flows {
+		flowBytes += int64(f.Bytes)
+	}
+	frac := 0.0
+	if countedAlloc > 0 {
+		frac = (float64(tracedAlloc) - float64(countedAlloc)) / float64(countedAlloc)
+	}
+	return &TracerOverhead{
+		Procs:                  procs,
+		FlowsStarted:           traced.Trace.Flows().Started(),
+		FlowsRecorded:          len(flows),
+		FlowBytes:              flowBytes,
+		TracedSeconds:          traced.Times.Total,
+		CountOnlySeconds:       counted.Times.Total,
+		VirtualOverheadSeconds: traced.Times.Total - counted.Times.Total,
+		AllocOverheadFrac:      frac,
+	}, nil
 }
 
 // benchFaultDrill runs the snapshot's recovery drill: a 64-rank

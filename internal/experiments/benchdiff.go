@@ -62,6 +62,34 @@ func WriteBenchDelta(w io.Writer, baseline, fresh *BenchResult) {
 		}
 	}
 	switch {
+	case baseline.TracerOverhead == nil && fresh.TracerOverhead != nil:
+		fmt.Fprintf(tw, "tracer\t(all)\t-\t-\tnew (no baseline tracer overhead)\t\n")
+	case baseline.TracerOverhead != nil && fresh.TracerOverhead == nil:
+		fmt.Fprintf(tw, "tracer\t(all)\t-\t-\ttracer overhead missing from fresh sweep\t\n")
+	case baseline.TracerOverhead != nil:
+		base, got := baseline.TracerOverhead, fresh.TracerOverhead
+		rows := []struct {
+			name      string
+			base, got float64
+			seconds   bool
+		}{
+			{"flows started", float64(base.FlowsStarted), float64(got.FlowsStarted), false},
+			{"flows recorded", float64(base.FlowsRecorded), float64(got.FlowsRecorded), false},
+			{"flow bytes", float64(base.FlowBytes), float64(got.FlowBytes), false},
+			{"traced total", base.TracedSeconds, got.TracedSeconds, true},
+			{"virtual overhead", base.VirtualOverheadSeconds, got.VirtualOverheadSeconds, true},
+			{"alloc overhead", base.AllocOverheadFrac, got.AllocOverheadFrac, false},
+		}
+		for _, row := range rows {
+			format := "%.4f"
+			if row.seconds {
+				format = "%.4fs"
+			}
+			fmt.Fprintf(tw, "tracer\t%s\t"+format+"\t"+format+"\t%s\t\n",
+				row.name, row.base, row.got, deltaPercent(row.base, row.got))
+		}
+	}
+	switch {
 	case baseline.FaultDrill == nil && fresh.FaultDrill != nil:
 		fmt.Fprintf(tw, "drill\t(all)\t-\t-\tnew (no baseline fault drill)\t\n")
 	case baseline.FaultDrill != nil && fresh.FaultDrill == nil:
@@ -172,6 +200,63 @@ func CompareBench(baseline, fresh *BenchResult, tol float64) []string {
 		}
 	}
 	violations = append(violations, compareFaultDrill(baseline.FaultDrill, fresh.FaultDrill, tol)...)
+	violations = append(violations, compareTracerOverhead(baseline.TracerOverhead, fresh.TracerOverhead, tol)...)
+	return violations
+}
+
+// maxAllocOverheadFrac is the flow recorder's allocation budget: a
+// fresh snapshot recording every message may cost at most this fraction
+// of extra host allocations over the count-only run.
+const maxAllocOverheadFrac = 0.05
+
+// compareTracerOverhead gates the flow-recorder cost probe. The flow
+// counts and payload bytes are deterministic and must match the
+// baseline exactly; the traced total carries the stage-time regression
+// tolerance. Independently of any baseline, a fresh probe must show
+// zero virtual-time overhead (instrumentation never touches the clocks)
+// and an allocation overhead under the 5% budget.
+func compareTracerOverhead(base, got *TracerOverhead, tol float64) []string {
+	var violations []string
+	if got != nil {
+		if got.VirtualOverheadSeconds != 0 {
+			violations = append(violations, fmt.Sprintf(
+				"tracer: virtual_overhead_seconds = %g, want exactly 0 (flow recording must not advance virtual clocks)",
+				got.VirtualOverheadSeconds))
+		}
+		if got.AllocOverheadFrac >= maxAllocOverheadFrac {
+			violations = append(violations, fmt.Sprintf(
+				"tracer: alloc_overhead_frac = %.4f, budget %.2f",
+				got.AllocOverheadFrac, maxAllocOverheadFrac))
+		}
+	}
+	if base == nil {
+		return violations
+	}
+	if got == nil {
+		return append(violations, "tracer: overhead probe missing from fresh sweep")
+	}
+	exact := []struct {
+		name      string
+		base, got int64
+	}{
+		{"procs", int64(base.Procs), int64(got.Procs)},
+		{"flows_started", base.FlowsStarted, got.FlowsStarted},
+		{"flows_recorded", int64(base.FlowsRecorded), int64(got.FlowsRecorded)},
+		{"flow_bytes", base.FlowBytes, got.FlowBytes},
+	}
+	for _, e := range exact {
+		if e.base != e.got {
+			violations = append(violations, fmt.Sprintf(
+				"tracer: %s drifted %d -> %d (deterministic quantity, exact match required)",
+				e.name, e.base, e.got))
+		}
+	}
+	if got.TracedSeconds > base.TracedSeconds*(1+tol) {
+		violations = append(violations, fmt.Sprintf(
+			"tracer: traced_seconds regressed %.4f -> %.4f (+%.1f%%, tolerance %.0f%%)",
+			base.TracedSeconds, got.TracedSeconds,
+			100*(got.TracedSeconds/base.TracedSeconds-1), 100*tol))
+	}
 	return violations
 }
 

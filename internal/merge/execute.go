@@ -128,7 +128,10 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 		// deterministic ownership update on every replica of the table.
 		// The Allgather also tells the restarted rank itself that its
 		// blocks are gone, so it stops resending or re-recovering them.
-		migratedToMe := map[int]bool{}
+		// migratedFrom maps block → the dead rank it was adopted from, for
+		// blocks newly owned by this rank this round; restore flows name
+		// the dead rank as their logical source.
+		migratedFrom := map[int]int{}
 		if opts.Migrate {
 			var flag int64
 			if r.Failed() {
@@ -154,7 +157,7 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					if mg.To != r.ID() {
 						continue
 					}
-					migratedToMe[mg.Block] = true
+					migratedFrom[mg.Block] = mg.From
 					if opts.Report != nil {
 						opts.Report.Migrations++
 						opts.Report.MigratedBlocks = append(opts.Report.MigratedBlocks, mg.Block)
@@ -185,17 +188,21 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					continue
 				}
 				ms, ok := complexes[m]
+				restoredFrom := -1
+				var restoreStart vtime.Time
 				if !ok {
-					if migratedToMe[m] {
+					if from, wasMigrated := migratedFrom[m]; wasMigrated {
 						// Just adopted from a crashed owner: recover it —
 						// from the dead rank's checkpoints when they
 						// validate, by deterministic recompute otherwise —
 						// and take the send path like any healthy member.
+						restoreStart = r.Clock()
 						recovered, err := Recover(r, sched, nblocks, m, round, opts)
 						if err != nil {
 							return nil, fmt.Errorf("merge: recover migrated block %d: %w", m, err)
 						}
 						ms = recovered
+						restoredFrom = from
 					} else if opts.Recompute == nil {
 						return nil, fmt.Errorf("merge: rank %d does not hold block %d", r.ID(), m)
 					} else {
@@ -212,6 +219,13 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 					obs.I("block", int64(m)), obs.I("bytes", int64(len(payload))))
 				payloadHist.Observe(int64(len(payload)))
 				payloadPeak.SetMax(float64(len(payload)))
+				if restoredFrom >= 0 {
+					// The restore moved the dead owner's data onto this
+					// rank outside Send/Recv; a synthetic flow attributes
+					// it, sized as the payload the block now carries.
+					r.NoteFlow(obs.FlowMigratedRestore, restoredFrom,
+						tagMergeBase+round*16+(m-g.Root)/stride, len(payload), restoreStart)
+				}
 				// A same-rank transfer still goes through the mailbox
 				// (no network hops in the model, only a local copy).
 				r.Send(rootRank, tagMergeBase+round*16+(m-g.Root)/stride, payload)
@@ -232,11 +246,19 @@ func Execute(r *mpsim.Rank, sched Schedule, nblocks int, complexes map[int]*msco
 				if opts.Recompute == nil && opts.Checkpoint == nil {
 					return nil, fmt.Errorf("merge: rank %d does not hold root block %d", r.ID(), g.Root)
 				}
+				restoreStart := r.Clock()
 				recovered, err := Recover(r, sched, nblocks, g.Root, round, opts)
 				if err != nil {
 					return nil, fmt.Errorf("merge: recover root block %d: %w", g.Root, err)
 				}
 				root = recovered
+				if from, wasMigrated := migratedFrom[g.Root]; wasMigrated {
+					// Root adopted from a dead rank: no serialized payload
+					// exists (it merges in place), so the flow carries the
+					// attribution with zero bytes.
+					r.NoteFlow(obs.FlowMigratedRestore, from,
+						tagMergeBase+round*16, 0, restoreStart)
+				}
 			}
 			var missing []int
 			for _, m := range g.Members {

@@ -79,6 +79,9 @@ type Cluster struct {
 	// metrics holds the substrate's pre-resolved instruments; all nil
 	// (and every update a no-op) when Config.Obs carries no registry.
 	metrics clusterMetrics
+	// flows records one causal record per message (DESIGN §14); nil —
+	// every hook a no-op — when Config.Obs is nil.
+	flows *obs.FlowRecorder
 
 	// aborted is set when any rank's body fails, so that ranks blocked
 	// in receives unwind instead of waiting forever for messages their
@@ -164,6 +167,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.fs.faults = cfg.Faults
 	c.metrics = newClusterMetrics(cfg.Obs.Registry())
+	c.flows = cfg.Obs.FlowRecorder()
 	c.mailboxes = make([]*mailbox, cfg.Procs)
 	for i := range c.mailboxes {
 		c.mailboxes[i] = newMailbox(&c.aborted)
@@ -371,6 +375,10 @@ type message struct {
 	src, tag int
 	data     []byte
 	arrival  vtime.Time
+	// flow is the send-side record this delivery completes on receive;
+	// the zero FlowID (observability off, sampled out, quiet twin) makes
+	// completion a no-op.
+	flow obs.FlowID
 }
 
 // mailbox holds undelivered messages for one rank, with src+tag matching.
@@ -503,12 +511,41 @@ func (r *Rank) TrySend(dst, tag int, data []byte) error {
 		deliveries = p.OnSend(r.id, dst, tag, data)
 	}
 	for _, d := range deliveries {
+		a := arrival + vtime.Time(d.ExtraDelay)
+		var fid obs.FlowID
+		if !r.quiet {
+			// One flow per delivery, so a duplicated message shows two
+			// records of which only one completes.
+			fid = r.cluster.flows.Begin(r.id, r.id, dst, tag, len(d.Data),
+				flowKind(tag), r.clock.Now(), a)
+		}
 		r.cluster.mailboxes[dst].put(message{
-			src: r.id, tag: tag, data: d.Data,
-			arrival: arrival + vtime.Time(d.ExtraDelay),
+			src: r.id, tag: tag, data: d.Data, arrival: a, flow: fid,
 		})
 	}
 	return nil
+}
+
+// flowKind classifies a tag for flow records: collective-tag traffic
+// rides the modeled reliable tree network, everything else is
+// point-to-point.
+func flowKind(tag int) string {
+	if tag >= tagBarrierUp {
+		return obs.FlowCollective
+	}
+	return obs.FlowP2P
+}
+
+// NoteFlow records a synthetic, already-complete flow on this rank's
+// stream: data that reached the rank outside Send/Recv, such as a
+// migrated block rebuilt from a dead owner's checkpoints. start is the
+// rank's clock when the restore began; the flow's receive time is the
+// clock now. No-op on quiet twins and when observability is off.
+func (r *Rank) NoteFlow(kind string, src, tag, bytes int, start vtime.Time) {
+	if r.quiet {
+		return
+	}
+	r.cluster.flows.Emit(r.id, src, r.id, tag, bytes, kind, start, r.clock.Now())
 }
 
 func (r *Rank) checkSrc(src int) {
@@ -522,12 +559,16 @@ func (r *Rank) checkSrc(src int) {
 // out-of-range source panics (a matching message could never arrive).
 func (r *Rank) Recv(src, tag int) ([]byte, int) {
 	r.checkSrc(src)
+	recvStart := r.clock.Now()
 	r.release()
 	msg := r.cluster.mailboxes[r.id].take(src, tag)
 	r.acquire()
 	r.clock.AdvanceTo(msg.arrival)
 	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
 	r.countRecv(len(msg.data))
+	if !r.quiet {
+		r.cluster.flows.Complete(msg.flow, recvStart, r.clock.Now())
+	}
 	return msg.data, msg.src
 }
 
@@ -557,7 +598,8 @@ func (r *Rank) TryRecv(src, tag int) ([]byte, int, error) {
 // fault-tolerant receive path must use instead of Recv.
 func (r *Rank) RecvTimeout(src, tag int, timeout vtime.Time) ([]byte, int, bool) {
 	r.checkSrc(src)
-	deadline := r.clock.Now() + timeout
+	recvStart := r.clock.Now()
+	deadline := recvStart + timeout
 	r.release()
 	msg, ok := r.cluster.mailboxes[r.id].takeDeadline(src, tag, deadline, r.cluster.grace)
 	r.acquire()
@@ -569,6 +611,9 @@ func (r *Rank) RecvTimeout(src, tag int, timeout vtime.Time) ([]byte, int, bool)
 	r.clock.AdvanceTo(msg.arrival)
 	r.clock.Advance(vtime.Time(r.cluster.machine.RecvOverhead))
 	r.countRecv(len(msg.data))
+	if !r.quiet {
+		r.cluster.flows.Complete(msg.flow, recvStart, r.clock.Now())
+	}
 	return msg.data, msg.src, true
 }
 

@@ -52,9 +52,13 @@ func (q *Request) Wait() ([]byte, int) {
 }
 
 func (q *Request) complete(m message) {
+	recvStart := q.r.clock.Now()
 	q.r.clock.AdvanceTo(m.arrival)
 	q.r.clock.Advance(vtimeFromFloat(q.r.cluster.machine.RecvOverhead))
 	q.data, q.from, q.done = m.data, m.src, true
+	if !q.r.quiet {
+		q.r.cluster.flows.Complete(m.flow, recvStart, q.r.clock.Now())
+	}
 }
 
 // WaitAny completes one of the pending requests (the first found ready,

@@ -1,6 +1,9 @@
 package mpsim
 
-import "parms/internal/vtime"
+import (
+	"parms/internal/obs"
+	"parms/internal/vtime"
+)
 
 // PeekArrival reports, without receiving anything, whether a message
 // matching (src, tag) is pending in this rank's mailbox, and the
@@ -15,6 +18,10 @@ import "parms/internal/vtime"
 // is a snapshot, bounded the same way RecvTimeout's real-time grace is;
 // speculative recovery treats an absent message as lost, which is safe
 // either way because the recompute path produces the identical subtree.
+//
+// PeekArrival deliberately records no flow: whether a not-yet-sent
+// message shows as pending depends on host scheduling, so any record
+// keyed to the peek would break the byte-identical flow-trace contract.
 func (r *Rank) PeekArrival(src, tag int) (vtime.Time, bool) {
 	r.checkSrc(src)
 	mb := r.cluster.mailboxes[r.id]
@@ -58,10 +65,17 @@ func (r *Rank) Speculative() *Rank {
 // clock advances to the twin's (the speculation was on this rank's
 // critical path after all) and the twin's I/O retry tally is folded in.
 // Call it only for the winning twin; losing twins are simply dropped,
-// which is the "cancel" of the speculation protocol.
+// which is the "cancel" of the speculation protocol. The adoption is
+// recorded as a synthetic self-flow spanning the clock jump, so the
+// flow trace shows where recomputed data replaced a late message.
 func (r *Rank) Adopt(twin *Rank) {
+	pre := r.clock.Now()
 	r.clock.AdvanceTo(twin.clock.Now())
 	r.ioRetries += twin.ioRetries
+	if !r.quiet {
+		r.cluster.flows.Emit(r.id, r.id, r.id, 0, 0,
+			obs.FlowSpeculativeAdopt, pre, r.clock.Now())
+	}
 }
 
 // SpeculationCost returns how far the twin's clock has run ahead of the

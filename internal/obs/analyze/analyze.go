@@ -35,6 +35,10 @@ type Input struct {
 	// `merge_round_bytes_sent_total{round="0"}`) to its value. Optional:
 	// analyses that need it degrade gracefully when empty.
 	Metrics map[string]float64
+	// Flows holds the per-message causal records, ordered by
+	// (emitter, seq). Optional: flow-level analyses (comm matrix, exact
+	// critical path) are skipped when empty.
+	Flows []obs.Flow
 }
 
 // FromObserver snapshots a live or completed run. Safe to call while
@@ -53,6 +57,7 @@ func FromObserver(o *obs.Observer) *Input {
 		in.Spans[id] = tr.Spans(id)
 		in.Instants[id] = tr.Instants(id)
 	}
+	in.Flows = tr.Flows().Flows()
 	var buf strings.Builder
 	if err := o.Metrics.WritePrometheus(&buf); err == nil {
 		if m, err := ParsePrometheus(strings.NewReader(buf.String())); err == nil {
@@ -136,7 +141,8 @@ type RoundReport struct {
 // PathStep is one link of the critical path, on one rank's timeline.
 type PathStep struct {
 	// Kind is read, compute, serialize, wait, glue, simplify,
-	// checkpoint or recover.
+	// checkpoint, recover — or msg for a message hop on the
+	// flow-derived path.
 	Kind  string `json:"kind"`
 	Rank  int    `json:"rank"`
 	Block int    `json:"block"`
@@ -144,6 +150,9 @@ type PathStep struct {
 	Round        int     `json:"round"`
 	StartSeconds float64 `json:"start_seconds"`
 	EndSeconds   float64 `json:"end_seconds"`
+	// Src and Dst are set on msg steps: the hop's endpoints.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
 }
 
 // Recommendation is the deterministic tuning advice derived from the
@@ -174,8 +183,22 @@ type Report struct {
 
 	// CriticalPath chains the spans that bound the merge wall time,
 	// leaf to final survivor; CriticalEndSeconds is when it completes.
+	// With flow records present the path is the exact message-level
+	// chain (CriticalPathSource "flows") and the old span-derived tree
+	// walk survives as a cross-check lower bound; without them the tree
+	// walk is the path (source "spans").
 	CriticalPath       []PathStep `json:"critical_path,omitempty"`
 	CriticalEndSeconds float64    `json:"critical_end_seconds"`
+	CriticalPathSource string     `json:"critical_path_source,omitempty"`
+	// SpanCriticalEndSeconds is the span-derived estimate when flows
+	// provided the path; CriticalPathGapSeconds = flow end − span end,
+	// ≥ 0 by construction (the flow path ends at the makespan).
+	SpanCriticalEndSeconds float64 `json:"span_critical_end_seconds,omitempty"`
+	CriticalPathGapSeconds float64 `json:"critical_path_gap_seconds"`
+
+	// CommMatrix is the rank×rank traffic aggregation from the flow
+	// records, ordered by (src, dst).
+	CommMatrix []CommLink `json:"comm_matrix,omitempty"`
 
 	// Faults counts fault instants by name (fault:timeout etc.).
 	Faults map[string]int `json:"faults,omitempty"`
@@ -200,8 +223,19 @@ func Analyze(in *Input, cfg Config) *Report {
 	}
 	rep.Stages = a.stageSummaries()
 	rep.Rounds = a.roundReports()
-	rep.Stragglers = a.stragglers(rep.Stages)
-	rep.CriticalPath, rep.CriticalEndSeconds = a.criticalPath()
+	rep.CommMatrix = a.commMatrix()
+	rep.Stragglers = append(a.stragglers(rep.Stages), a.commStragglers()...)
+	spanPath, spanEnd := a.criticalPath()
+	flowPath, flowEnd := a.flowCriticalPath()
+	if flowEnd > 0 {
+		rep.CriticalPath, rep.CriticalEndSeconds = flowPath, flowEnd
+		rep.CriticalPathSource = "flows"
+		rep.SpanCriticalEndSeconds = spanEnd
+		rep.CriticalPathGapSeconds = flowEnd - spanEnd
+	} else {
+		rep.CriticalPath, rep.CriticalEndSeconds = spanPath, spanEnd
+		rep.CriticalPathSource = "spans"
+	}
 	rep.Faults = a.faultCounts()
 	rep.Recommendation = recommend(rep)
 	return rep

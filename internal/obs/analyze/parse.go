@@ -23,7 +23,9 @@ func ParseChromeTrace(r io.Reader) (*Input, error) {
 	var doc struct {
 		TraceEvents []struct {
 			Name string                     `json:"name"`
+			Cat  string                     `json:"cat"`
 			Ph   string                     `json:"ph"`
+			Id   string                     `json:"id"`
 			Tid  int                        `json:"tid"`
 			Ts   json.Number                `json:"ts"`
 			Dur  json.Number                `json:"dur"`
@@ -42,6 +44,8 @@ func ParseChromeTrace(r io.Reader) (*Input, error) {
 	}
 	in.Spans = make([][]obs.Span, in.Procs)
 	in.Instants = make([][]obs.Instant, in.Procs)
+	var flows []obs.Flow
+	flowIdx := map[string]int{} // flow event id → index in flows
 	for _, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "X":
@@ -67,9 +71,102 @@ func ParseChromeTrace(r io.Reader) (*Input, error) {
 				Ts:    vtime.Time(ts / 1e6),
 				Attrs: parseArgs(ev.Args),
 			})
+		case "s":
+			// Flow start: the args carry the full record, with the
+			// virtual times in the same fixed-point microseconds as ts
+			// (see obs.Flow.startJSON) — parsed here directly, not via
+			// the generic attr rebuild.
+			if ev.Cat != "flow" {
+				continue
+			}
+			ts, err := ev.Ts.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("analyze: bad flow timestamp in %q", ev.Name)
+			}
+			f := obs.Flow{SendVT: vtime.Time(ts / 1e6)}
+			if v, ok := argInt(ev.Args, "seq"); ok {
+				f.Seq = v
+			}
+			if v, ok := argInt(ev.Args, "emitter"); ok {
+				f.Emitter = int(v)
+			}
+			if v, ok := argInt(ev.Args, "src"); ok {
+				f.Src = int(v)
+			}
+			if v, ok := argInt(ev.Args, "dst"); ok {
+				f.Dst = int(v)
+			}
+			if v, ok := argInt(ev.Args, "tag"); ok {
+				f.Tag = int(v)
+			}
+			if v, ok := argInt(ev.Args, "bytes"); ok {
+				f.Bytes = int(v)
+			}
+			if v, ok := argString(ev.Args, "kind"); ok {
+				f.Kind = v
+			}
+			if v, ok := argFloat(ev.Args, "arrive"); ok {
+				f.ArriveVT = vtime.Time(v / 1e6)
+			}
+			if v, ok := argFloat(ev.Args, "recv_start"); ok {
+				f.RecvStartVT = vtime.Time(v / 1e6)
+			}
+			flowIdx[ev.Id] = len(flows)
+			flows = append(flows, f)
+		case "f":
+			i, ok := flowIdx[ev.Id]
+			if !ok {
+				continue
+			}
+			ts, err := ev.Ts.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("analyze: bad flow timestamp in %q", ev.Name)
+			}
+			flows[i].RecvVT = vtime.Time(ts / 1e6)
+			flows[i].Done = true
 		}
 	}
+	sort.SliceStable(flows, func(i, j int) bool {
+		if flows[i].Emitter != flows[j].Emitter {
+			return flows[i].Emitter < flows[j].Emitter
+		}
+		return flows[i].Seq < flows[j].Seq
+	})
+	in.Flows = flows
 	return in, nil
+}
+
+// argInt reads one integer arg; false when absent or non-integer.
+func argInt(args map[string]json.RawMessage, key string) (int64, bool) {
+	raw, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+	return v, err == nil
+}
+
+// argFloat reads one numeric arg; false when absent or non-numeric.
+func argFloat(args map[string]json.RawMessage, key string) (float64, bool) {
+	raw, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	return v, err == nil
+}
+
+// argString reads one string arg; false when absent or not a string.
+func argString(args map[string]json.RawMessage, key string) (string, bool) {
+	raw, ok := args[key]
+	if !ok {
+		return "", false
+	}
+	var s string
+	if json.Unmarshal(raw, &s) != nil {
+		return "", false
+	}
+	return s, true
 }
 
 // parseArgs rebuilds span attributes from a decoded args object.

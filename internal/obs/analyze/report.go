@@ -66,8 +66,39 @@ func (r *Report) Print(w io.Writer) {
 		}
 	}
 
+	if len(r.CommMatrix) > 0 {
+		const topLinks = 16
+		links := make([]CommLink, len(r.CommMatrix))
+		copy(links, r.CommMatrix)
+		sort.SliceStable(links, func(i, j int) bool {
+			if links[i].Bytes != links[j].Bytes {
+				return links[i].Bytes > links[j].Bytes
+			}
+			if links[i].Src != links[j].Src {
+				return links[i].Src < links[j].Src
+			}
+			return links[i].Dst < links[j].Dst
+		})
+		shown := links
+		if len(shown) > topLinks {
+			shown = shown[:topLinks]
+		}
+		fmt.Fprintf(w, "\n%-12s %9s %12s %10s\n", "link", "msgs", "bytes", "recv_wait")
+		for _, l := range shown {
+			fmt.Fprintf(w, "%4d → %-5d %9d %12d %9.4fs\n",
+				l.Src, l.Dst, l.Messages, l.Bytes, l.WaitSeconds)
+		}
+		if len(links) > topLinks {
+			fmt.Fprintf(w, "  … %d more links (full matrix in JSON)\n", len(links)-topLinks)
+		}
+	}
+
 	if len(r.CriticalPath) > 0 {
 		fmt.Fprintf(w, "\ncritical path (ends %.4fs):\n", r.CriticalEndSeconds)
+		if r.CriticalPathSource == "flows" {
+			fmt.Fprintf(w, "  source: message flows; span-tree estimate %.4fs, gap %.4fs\n",
+				r.SpanCriticalEndSeconds, r.CriticalPathGapSeconds)
+		}
 		for _, st := range r.CriticalPath {
 			round := "-"
 			if st.Round >= 0 {

@@ -42,8 +42,56 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			emit(ev.json(id))
 		}
 	}
+	// Flow events last, ascending by (emitter, seq): one "s" on the
+	// source track at injection time and one binding "f" on the
+	// destination track at consumption time, so Perfetto draws an arrow
+	// per message. Only completed flows export — an orphan (dropped
+	// duplicate, cancelled speculation payload) has no consumption
+	// point to bind to, and tracecheck treats an unpaired "s" as a
+	// defect.
+	for _, f := range t.Flows().Flows() {
+		if !f.Done {
+			continue
+		}
+		emit(f.startJSON())
+		emit(f.finishJSON())
+	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// flowEventID is the Chrome-trace flow id: emitter in the high bits,
+// sequence in the low, rendered as a decimal string so consumers never
+// round it through a float.
+func flowEventID(f Flow) string {
+	return strconv.FormatInt(int64(f.Emitter)<<32|(f.Seq&0xffffffff), 10)
+}
+
+// startJSON renders the ph:"s" half of a flow pair. The args carry the
+// full flow record (arrive/recv_start in the same fixed-point
+// microseconds as ts), so ParseChromeTrace round-trips flows without a
+// side channel.
+func (f Flow) startJSON() string {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote("flow:" + f.Kind))
+	fmt.Fprintf(&b, `,"cat":"flow","ph":"s","id":"%s","pid":0,"tid":%d,"ts":%s`,
+		flowEventID(f), f.Src, micros(f.SendVT))
+	fmt.Fprintf(&b, `,"args":{"seq":%d,"emitter":%d,"src":%d,"dst":%d,"tag":%d,"bytes":%d,"kind":%s,"arrive":%s,"recv_start":%s}}`,
+		f.Seq, f.Emitter, f.Src, f.Dst, f.Tag, f.Bytes,
+		strconv.Quote(f.Kind), micros(f.ArriveVT), micros(f.RecvStartVT))
+	return b.String()
+}
+
+// finishJSON renders the ph:"f" half; bp:"e" binds the arrow to the
+// enclosing slice on the destination track.
+func (f Flow) finishJSON() string {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote("flow:" + f.Kind))
+	fmt.Fprintf(&b, `,"cat":"flow","ph":"f","bp":"e","id":"%s","pid":0,"tid":%d,"ts":%s}`,
+		flowEventID(f), f.Dst, micros(f.RecvVT))
+	return b.String()
 }
 
 // trackEvent is one span or instant flattened for export.

@@ -82,6 +82,7 @@ func TestNilSafety(t *testing.T) {
 		{"*Tracer", (*Tracer)(nil)},
 		{"*RankTracer", (*RankTracer)(nil)},
 		{"*Registry", (*Registry)(nil)},
+		{"*FlowRecorder", (*FlowRecorder)(nil)},
 		{"*Counter", (*Counter)(nil)},
 		{"*Gauge", (*Gauge)(nil)},
 		{"*Histogram", (*Histogram)(nil)},
@@ -140,6 +141,20 @@ func TestNilSafetyValues(t *testing.T) {
 	var tr *Tracer
 	if tr.Procs() != 0 || tr.Rank(0) != nil || tr.Spans(0) != nil || tr.Instants(0) != nil {
 		t.Error("nil Tracer leaks state")
+	}
+	if tr.Flows() != nil {
+		t.Error("nil Tracer must hand out a nil flow recorder")
+	}
+	var fr *FlowRecorder
+	if id := fr.Begin(0, 0, 1, 0, 8, FlowP2P, 0, 1); id != (FlowID{}) {
+		t.Errorf("nil FlowRecorder Begin = %+v, want zero", id)
+	}
+	fr.Complete(FlowID{}, 0, 1)
+	if fr.Flows() != nil || fr.Started() != 0 || fr.Procs() != 0 {
+		t.Error("nil FlowRecorder leaks state")
+	}
+	if tl := tr.Timeline(8); tl != nil {
+		t.Errorf("nil Tracer Timeline = %v, want nil", tl)
 	}
 	for _, st := range tr.StageStats("read", "merge") {
 		if st != (StageStat{Name: st.Name}) {

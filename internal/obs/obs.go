@@ -76,6 +76,17 @@ func (o *Observer) Tracer() *Tracer {
 	return o.Trace
 }
 
+// FlowRecorder returns the per-message causal flow recorder hanging
+// off the tracer, nil when o (or its tracer) is nil. All methods of a
+// nil *FlowRecorder are no-ops, so the substrate instruments sends and
+// receives unconditionally.
+func (o *Observer) FlowRecorder() *FlowRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Flows()
+}
+
 // Logger returns the structured event logger, nil when o is nil or no
 // logger is attached. Callers must nil-check the result before logging
 // (a nil *slog.Logger is not callable).
@@ -227,18 +238,31 @@ func (s OpenSpan) End(end vtime.Time, attrs ...Attr) {
 // skip attribute computation entirely on the fast path.
 func (t *RankTracer) Enabled() bool { return t != nil }
 
-// Tracer holds one track per rank.
+// Tracer holds one track per rank, plus the run's message-flow
+// recorder (DESIGN §14) so every consumer of a Tracer — the Chrome
+// exporter, the live server, the analyzers — sees spans and flows as
+// one coherent snapshot.
 type Tracer struct {
 	ranks []*RankTracer
+	flows *FlowRecorder
 }
 
 // NewTracer creates a tracer for procs ranks.
 func NewTracer(procs int) *Tracer {
-	t := &Tracer{ranks: make([]*RankTracer, procs)}
+	t := &Tracer{ranks: make([]*RankTracer, procs), flows: NewFlowRecorder(procs)}
 	for i := range t.ranks {
 		t.ranks[i] = &RankTracer{id: i}
 	}
 	return t
+}
+
+// Flows returns the tracer's flow recorder, nil when t is nil (every
+// method of a nil *FlowRecorder is a no-op).
+func (t *Tracer) Flows() *FlowRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flows
 }
 
 // Procs returns the number of tracks. Zero on a nil tracer.

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -30,6 +31,9 @@ type Server struct {
 //	/healthz            liveness probe ("ok")
 //	/metrics            Prometheus text exposition of o.Metrics
 //	/trace              Chrome-trace JSON snapshot of o.Trace
+//	/flows              JSON snapshot of the message flow records
+//	/timeline           virtual-time-bucketed activity timeline
+//	                    (?buckets=N, default 64, capped at 4096)
 //	/insight            the insight handler, when one is provided
 //	                    (cmd wiring passes analyze.Handler; nil → 404)
 //	/debug/pprof/...    net/http/pprof for real-host profiling
@@ -65,6 +69,20 @@ func ServeFunc(addr string, current func() *Observer, insight http.Handler) (*Se
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		current().Tracer().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		current().Tracer().Flows().WriteFlowsJSON(w)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		buckets := 0
+		if q := r.URL.Query().Get("buckets"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil {
+				buckets = n
+			}
+		}
+		current().Tracer().WriteTimelineJSON(w, buckets)
 	})
 	if insight != nil {
 		mux.Handle("/insight", insight)

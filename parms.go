@@ -206,6 +206,12 @@ type Options struct {
 	// them with WriteChromeTrace / WritePrometheus. When false (the
 	// default) every instrumentation hook is a nil no-op.
 	Trace bool
+	// FlowSample tunes the per-message flow recorder of a traced run:
+	// 0 or 1 records every message (the default), n > 1 keeps every
+	// n-th per emitter, and any negative value counts flows without
+	// storing records (see obs.FlowRecorder.SetSample). Ignored when
+	// Trace is off.
+	FlowSample int
 	// Log, when non-nil, receives structured run events (fault
 	// instants, checkpoint writes, recovery decisions) with a "vt"
 	// attribute tying each line to the virtual timeline; build one
@@ -273,6 +279,9 @@ func newObserver(opt Options) *obs.Observer {
 	}
 	ob := obs.New(opt.Procs)
 	ob.Log = opt.Log
+	if opt.FlowSample != 0 {
+		ob.FlowRecorder().SetSample(opt.FlowSample)
+	}
 	return ob
 }
 
