@@ -11,6 +11,14 @@
 //
 //	msbench -exp bench -q -json fresh.json
 //	benchdiff -fresh fresh.json [-baseline BENCH_x.json] [-tol 0.05]
+//	benchdiff -fresh fresh.json -wall [-wall-tol 0.10]
+//
+// With -wall, the strict gate is replaced by the wall-clock gate: only
+// compute_seconds is judged (per sweep run and per kernel-probe worker
+// point), failing on regressions past -wall-tol; improvements and
+// changes to every other quantity are report-only. This is the CI band
+// for performance PRs, which legitimately change deterministic
+// counters.
 //
 // When -baseline is omitted, the lexically newest BENCH_*.json in the
 // current directory (excluding the fresh file) is used — the
@@ -32,6 +40,8 @@ func main() {
 	fresh := flag.String("fresh", "", "fresh bench snapshot to gate (required)")
 	baseline := flag.String("baseline", "", "baseline snapshot (default: newest BENCH_*.json here)")
 	tol := flag.Float64("tol", 0.05, "allowed fractional regression in modeled stage times")
+	wall := flag.Bool("wall", false, "wall-clock gate: judge only compute_seconds regressions")
+	wallTol := flag.Float64("wall-tol", 0.10, "allowed fractional compute_seconds regression with -wall")
 	flag.Parse()
 
 	if *fresh == "" {
@@ -63,7 +73,12 @@ func main() {
 	experiments.WriteBenchDelta(os.Stdout, base, got)
 	fmt.Println()
 
-	violations := experiments.CompareBench(base, got, *tol)
+	var violations []string
+	if *wall {
+		violations = experiments.CompareBenchWall(base, got, *wallTol)
+	} else {
+		violations = experiments.CompareBench(base, got, *tol)
+	}
 	if len(violations) > 0 {
 		fmt.Printf("benchdiff: FAIL — %s vs baseline %s (%d violations)\n",
 			*fresh, *baseline, len(violations))
@@ -71,6 +86,11 @@ func main() {
 			fmt.Printf("  %s\n", v)
 		}
 		os.Exit(1)
+	}
+	if *wall {
+		fmt.Printf("benchdiff: OK — %s within wall band of baseline %s (%d runs, compute_seconds tolerance %.0f%%)\n",
+			*fresh, *baseline, len(base.Runs), 100**wallTol)
+		return
 	}
 	fmt.Printf("benchdiff: OK — %s matches baseline %s (%d runs, stage-time tolerance %.0f%%)\n",
 		*fresh, *baseline, len(base.Runs), 100**tol)

@@ -26,6 +26,7 @@ import (
 
 	"parms/internal/cube"
 	"parms/internal/grid"
+	"parms/internal/kernel"
 	"parms/internal/vtime"
 )
 
@@ -37,12 +38,22 @@ const (
 	flagVisited = 0x20 // bit 5: scratch flag for traversals
 )
 
-// Field is the discrete gradient vector field of one block.
+// Field is the discrete gradient vector field of one block, stored in
+// structure-of-arrays form: one state byte and one stratum id per
+// refined-grid cell, plus the flat successor arrays the tracing kernels
+// iterate (headOf for every tail cell, succ0 for the functional vertex
+// layer).
 type Field struct {
 	C *cube.Complex
 
 	state  []byte
 	strata []int32
+
+	// Successor arrays, built by successorsKernel after assignment.
+	headOf        []int32 // tail cell -> paired head cofacet, -1 otherwise
+	succ0         []int32 // vertex -> next vertex on its V-path chain, -1 at criticals
+	nvx, nvy, nvz int     // vertex-grid extents
+
 	// Work tallies the operations spent computing the field, for the
 	// virtual-time cost model.
 	Work vtime.Work
@@ -53,13 +64,23 @@ type Field struct {
 // restriction; passing nil disables the restriction (the serial,
 // single-block behaviour).
 func Compute(c *cube.Complex, dec *grid.Decomposition) *Field {
+	return ComputePooled(c, dec, nil)
+}
+
+// ComputePooled is Compute with an explicit intra-rank worker pool for
+// the batch kernels (key precomputation and successor-array builds).
+// The greedy pairing sweep itself is order-dependent and stays
+// sequential, so the resulting field is byte-identical for every pool
+// width — a nil pool is the reference sequential path.
+func ComputePooled(c *cube.Complex, dec *grid.Decomposition, pool *kernel.Pool) *Field {
 	f := &Field{
 		C:      c,
 		state:  make([]byte, c.NumCells()),
 		strata: make([]int32, c.NumCells()),
 	}
 	f.classifyStrata(dec)
-	f.assign()
+	f.assign(pool)
+	f.successorsKernel(pool)
 	return f
 }
 
@@ -101,8 +122,10 @@ func ownersKey(owners []int) string {
 	return string(buf)
 }
 
-// assign runs the greedy pairing sweeps, one per dimension.
-func (f *Field) assign() {
+// assign runs the greedy pairing sweeps, one per dimension. The pool
+// accelerates the sort-key batch kernel; the greedy loop itself is
+// sequential because each pairing decision depends on earlier ones.
+func (f *Field) assign(pool *kernel.Pool) {
 	c := f.C
 	n := c.NumCells()
 	f.Work.CellsVisited += int64(n)
@@ -124,7 +147,7 @@ func (f *Field) assign() {
 	var facetBuf, cofacetBuf [6]int
 	for d := 0; d <= 2; d++ {
 		cellsD := byDim[d]
-		f.sortCells(cellsD)
+		f.sortCells(cellsD, pool)
 		for _, ci := range cellsD {
 			idx := int(ci)
 			if f.state[idx]&(flagPaired|flagCrit) != 0 {
@@ -172,10 +195,13 @@ func (f *Field) assign() {
 }
 
 // sortCells orders same-dimension cells ascending in the SoS total
-// order. A precomputed (max value, max vertex id) key resolves almost
-// every comparison; the full lexicographic comparison breaks the rare
-// remaining ties.
-func (f *Field) sortCells(cells []int32) {
+// order. A batch kernel precomputes one (max value, max vertex id) key
+// per cell into flat arrays — no map, no per-comparison VertKeys — and
+// a permutation sort indexes those arrays directly; the full
+// lexicographic comparison breaks the rare remaining ties. The SoS
+// order is total, so the sorted sequence is unique and independent of
+// both the sort algorithm and the pool width.
+func (f *Field) sortCells(cells []int32, pool *kernel.Pool) {
 	c := f.C
 	nc := len(cells)
 	if nc == 0 {
@@ -183,24 +209,26 @@ func (f *Field) sortCells(cells []int32) {
 	}
 	val := make([]float32, nc)
 	id := make([]int64, nc)
-	pos := make(map[int32]int32, nc)
-	var buf [8]cube.VertKey
-	for i, ci := range cells {
-		keys := c.VertKeys(int(ci), buf[:])
-		val[i] = keys[0].Val
-		id[i] = keys[0].ID
-		pos[ci] = int32(i)
+	f.cellKeysKernel(cells, val, id, pool)
+	perm := make([]int32, nc)
+	for i := range perm {
+		perm[i] = int32(i)
 	}
-	sort.Slice(cells, func(a, b int) bool {
-		ia, ib := pos[cells[a]], pos[cells[b]]
+	sort.Slice(perm, func(a, b int) bool {
+		ia, ib := perm[a], perm[b]
 		if val[ia] != val[ib] {
 			return val[ia] < val[ib]
 		}
 		if id[ia] != id[ib] {
 			return id[ia] < id[ib]
 		}
-		return c.Compare(int(cells[a]), int(cells[b])) < 0
+		return c.Compare(int(cells[ia]), int(cells[ib])) < 0
 	})
+	sorted := make([]int32, nc)
+	for i, p := range perm {
+		sorted[i] = cells[p]
+	}
+	copy(cells, sorted)
 	f.Work.SortedItems += int64(nc) * int64(bits.Len(uint(nc)))
 }
 

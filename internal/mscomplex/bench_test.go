@@ -1,11 +1,13 @@
 package mscomplex
 
 import (
+	"fmt"
 	"testing"
 
 	"parms/internal/cube"
 	"parms/internal/gradient"
 	"parms/internal/grid"
+	"parms/internal/kernel"
 	"parms/internal/synth"
 )
 
@@ -18,6 +20,7 @@ func benchField(b *testing.B, n int, features float64) *gradient.Field {
 
 func BenchmarkTrace32(b *testing.B) {
 	f := benchField(b, 33, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := FromField(f, nil, TraceOptions{})
@@ -27,8 +30,32 @@ func BenchmarkTrace32(b *testing.B) {
 	}
 }
 
+// BenchmarkTracePooled measures the pointer-jumping tracer under the
+// intra-rank worker pool at several widths. The traced arcs are
+// byte-identical across widths; this tracks sweep and dispatch cost.
+func BenchmarkTracePooled(b *testing.B) {
+	f := benchField(b, 33, 4)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var pool *kernel.Pool
+			if w > 1 {
+				pool = kernel.New(w)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := FromFieldPooled(f, nil, TraceOptions{}, pool)
+				if res.Kernel.Sweeps == 0 {
+					b.Fatal("no sweeps")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimplify32(b *testing.B) {
 	f := benchField(b, 33, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -42,6 +69,7 @@ func BenchmarkSerialize32(b *testing.B) {
 	ms := FromField(benchField(b, 33, 4), nil, TraceOptions{}).Complex
 	ms.Simplify(SimplifyOptions{Threshold: 0.02})
 	compact := ms.Compact()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var bytes int64
 	for i := 0; i < b.N; i++ {
@@ -56,6 +84,7 @@ func BenchmarkDeserialize32(b *testing.B) {
 	ms.Simplify(SimplifyOptions{Threshold: 0.02})
 	payload := ms.Compact().Serialize()
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Deserialize(payload); err != nil {
@@ -78,6 +107,7 @@ func BenchmarkGlue8Blocks(b *testing.B) {
 		ms.Simplify(SimplifyOptions{Threshold: 0.02})
 		payloads[i] = ms.Compact().Serialize()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		root, err := Deserialize(payloads[0])

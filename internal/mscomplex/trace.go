@@ -4,6 +4,7 @@ import (
 	"parms/internal/cube"
 	"parms/internal/gradient"
 	"parms/internal/grid"
+	"parms/internal/kernel"
 )
 
 // TraceOptions bounds the V-path enumeration.
@@ -19,12 +20,31 @@ type TraceOptions struct {
 	MaxArcsPerPair int
 }
 
+// KernelStats describes the path-compression kernel work of one trace:
+// how many pointer-jumping sweeps ran over the vertex successor array
+// before convergence, and how many pointer writes each sweep made (the
+// final entry is always 0 — the sweep that proved convergence).
+type KernelStats struct {
+	// Workers is the pool width the sweeps and the per-start tracing ran
+	// on (1 for the sequential path).
+	Workers int
+	// Sweeps is the number of synchronous jumping sweeps, including the
+	// final zero-write sweep. It depends only on the longest V-path
+	// chain in the block — never on the worker count.
+	Sweeps int
+	// SweepWrites is the per-sweep write histogram, reduced over chunks
+	// in chunk-index order so it is byte-identical for every pool width.
+	SweepWrites []int64
+}
+
 // TraceResult is the traced complex plus diagnostics.
 type TraceResult struct {
 	Complex *Complex
 	// Truncated counts (saddle, saddle) pairs whose arc multiplicity
 	// exceeded MaxArcsPerPair and was clamped.
 	Truncated int
+	// Kernel reports the pointer-jumping sweep statistics.
+	Kernel KernelStats
 }
 
 // FromField traces the MS complex 1-skeleton of one block from its
@@ -35,16 +55,35 @@ type TraceResult struct {
 // to terminate inside the block because boundary gradient arrows are
 // restricted.
 //
+// dec supplies block ownership for node boundary classification; nil
+// means the single-block (serial) case.
+func FromField(f *gradient.Field, dec *grid.Decomposition, opts TraceOptions) *TraceResult {
+	return FromFieldPooled(f, dec, opts, nil)
+}
+
+// FromFieldPooled is FromField on an explicit intra-rank worker pool.
+//
+// The trace runs in three phases. First, iterated path-compression
+// (pointer-jumping) sweeps over the flat vertex successor array resolve
+// the terminal minimum of every vertex chain at once, converging when a
+// sweep makes no writes. Second, every non-minimum critical cell is
+// traced independently — saddle→minimum arcs read the precompressed
+// terminals and walk their chain only for the recorded geometry, while
+// the braided (1,2) and (2,3) layers keep the exact per-start DFS and
+// path-counting dynamic program of the sequential tracer. Starts are
+// distributed over the pool with per-worker scratch and per-start
+// output slots. Third, the per-start results are committed to the
+// complex sequentially in critical-cell order, so node ids, arc order,
+// geometry ids and every serialized byte are identical for every pool
+// width — a nil pool is the reference sequential path.
+//
 // Distinct V-paths between the same pair of critical cells are counted
 // exactly (saturating) with a linear-time dynamic program over the
 // descending reachability DAG, instead of enumerating every path — path
 // enumeration is exponential in braided plateau regions. One
 // representative geometry (the first-discovery path) is shared by the
 // arc records of a multi-path pair.
-//
-// dec supplies block ownership for node boundary classification; nil
-// means the single-block (serial) case.
-func FromField(f *gradient.Field, dec *grid.Decomposition, opts TraceOptions) *TraceResult {
+func FromFieldPooled(f *gradient.Field, dec *grid.Decomposition, opts TraceOptions, pool *kernel.Pool) *TraceResult {
 	c := f.C
 	maxArcs := opts.MaxArcsPerPair
 	if maxArcs <= 0 {
@@ -76,25 +115,158 @@ func FromField(f *gradient.Field, dec *grid.Decomposition, opts TraceOptions) *T
 		})
 	}
 
-	tr := &tracer{f: f, ms: ms, maxArcs: maxArcs}
-	for _, ci := range criticals {
-		if c.Dim(int(ci)) == 0 {
-			continue
-		}
-		res.Truncated += tr.traceFrom(int(ci))
+	// Phase 1: pointer-jumping sweeps on the vertex layer.
+	term0, stats := compressChains(f, pool)
+	res.Kernel = stats
+	for _, w := range stats.SweepWrites {
+		ms.Work.SweepWrites += w
 	}
-	ms.Work.PathSteps += tr.steps
+
+	// Phase 2: trace every non-minimum critical cell, in parallel over
+	// the pool. Workers write only their own outs slots and per-worker
+	// tracer scratch; nothing touches ms until the commit phase.
+	starts := make([]int32, 0, len(criticals))
+	for _, ci := range criticals {
+		if c.Dim(int(ci)) != 0 {
+			starts = append(starts, ci)
+		}
+	}
+	outs := make([]startOut, len(starts))
+	tracers := make([]*tracer, pool.Workers())
+	pool.Run(len(starts), 1, func(worker, _, lo, hi int) {
+		tr := tracers[worker]
+		if tr == nil {
+			tr = &tracer{f: f, maxArcs: maxArcs, term0: term0}
+			tracers[worker] = tr
+		}
+		for i := lo; i < hi; i++ {
+			start := int(starts[i])
+			if c.Dim(start) == 1 {
+				outs[i] = tr.traceChain(start)
+			} else {
+				outs[i] = tr.traceFrom(start)
+			}
+		}
+	})
+
+	// Phase 3: sequential commit in critical-cell order.
+	for i := range outs {
+		start := int(starts[i])
+		origin, ok := ms.NodeAt(c.GlobalAddr(start))
+		if !ok {
+			panic("mscomplex: tracing from a cell with no node")
+		}
+		for _, e := range outs[i].emits {
+			lower, ok := ms.NodeAt(c.GlobalAddr(e.terminal))
+			if !ok {
+				panic("mscomplex: critical terminal with no node")
+			}
+			geom := ms.AddLeafGeom(e.geom)
+			for k := 0; k < e.records; k++ {
+				ms.AddArc(origin, lower, geom)
+			}
+		}
+		res.Truncated += outs[i].truncated
+		ms.Work.PathSteps += outs[i].steps
+	}
 	return res
+}
+
+// sweepGrain is the chunk size of the jumping sweeps; chunk boundaries
+// (and therefore the per-chunk write reduction) depend only on the
+// vertex count.
+const sweepGrain = kernel.DefaultGrain
+
+// compressChains runs synchronous pointer-jumping sweeps over the
+// vertex successor array until a sweep makes no writes, and returns the
+// fully compressed array: term[v] is the compact id of the critical
+// vertex terminating v's descending chain (v itself when v is
+// critical). Sweeps are double-buffered — each reads only the previous
+// generation — so the result and the per-sweep write counts are
+// independent of worker count and chunk schedule, and the sweep total
+// is ⌈log₂(longest chain)⌉ + 1.
+func compressChains(f *gradient.Field, pool *kernel.Pool) ([]int32, KernelStats) {
+	succ := f.Succ0()
+	nv := len(succ)
+	stats := KernelStats{Workers: pool.Workers()}
+	cur := make([]int32, nv)
+	next := make([]int32, nv)
+	initChainsKernel(succ, cur, pool)
+	writes := make([]int64, kernel.Chunks(nv, sweepGrain))
+	for {
+		jumpSweepKernel(cur, next, writes, pool)
+		var total int64
+		for _, w := range writes {
+			total += w
+		}
+		stats.Sweeps++
+		stats.SweepWrites = append(stats.SweepWrites, total)
+		cur, next = next, cur
+		if total == 0 {
+			break
+		}
+	}
+	return cur, stats
+}
+
+// initChainsKernel seeds the jumping buffer: each vertex points at its
+// successor, terminals point at themselves.
+func initChainsKernel(succ, cur []int32, pool *kernel.Pool) {
+	pool.Run(len(succ), sweepGrain, func(_, _, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := succ[v]
+			if s < 0 {
+				s = int32(v)
+			}
+			cur[v] = s
+		}
+	})
+}
+
+// jumpSweepKernel performs one synchronous pointer-jumping sweep:
+// next[v] = cur[cur[v]]. It records the number of changed pointers per
+// chunk; the caller reduces them in chunk order.
+func jumpSweepKernel(cur, next []int32, writes []int64, pool *kernel.Pool) {
+	pool.Run(len(cur), sweepGrain, func(_, chunk, lo, hi int) {
+		var w int64
+		for v := lo; v < hi; v++ {
+			t := cur[cur[v]]
+			next[v] = t
+			if t != cur[v] {
+				w++
+			}
+		}
+		writes[chunk] = w
+	})
 }
 
 // pathCountCap saturates V-path multiplicity counts.
 const pathCountCap = 1 << 20
 
+// emitRec is one arc bundle produced by tracing a single start: the
+// terminal critical cell, the representative geometry, and how many arc
+// records to add.
+type emitRec struct {
+	terminal int
+	geom     []grid.Addr
+	records  int
+}
+
+// startOut is everything one traced start contributes to the complex,
+// in emission order. It is committed sequentially after the parallel
+// phase.
+type startOut struct {
+	emits     []emitRec
+	truncated int
+	steps     int64
+}
+
+// tracer holds per-worker scratch for the per-start tracing phase. It
+// never touches the complex; it only fills startOut records.
 type tracer struct {
 	f       *gradient.Field
-	ms      *Complex
 	maxArcs int
-	steps   int64
+	term0   []int32 // compressed vertex terminals from the jumping sweeps
 
 	// Per-start scratch, indexed by cell and validated by an epoch
 	// counter so it is cleared in O(1) between starts.
@@ -126,35 +298,81 @@ func (t *tracer) discover(cell, parent int) {
 	}
 }
 
-// successor enumeration: from tail cell a (dimension d-1), the V-path
-// continues through a's paired head (dimension d) into the head's other
-// facets. Critical cells are terminals; cells paired downward are dead
-// ends.
-func (t *tracer) successors(a int, emit func(next int)) {
+// traceChain traces a 1-saddle using the precompressed vertex layer.
+// The two descending chains leaving the saddle's endpoint vertices are
+// functional (one successor per vertex), so their terminals come
+// straight from term0; the chains are walked only to record geometry.
+// The emitted records replicate the sequential DFS tracer exactly:
+// distinct terminals emit one single-path arc each, in facet order; a
+// shared terminal emits one geometry — the first-discovery path, which
+// restarts at the second root if the first root's chain runs through it
+// — carrying two arc records.
+func (t *tracer) traceChain(start int) startOut {
 	c := t.f.C
-	head, ok := t.f.PairedWith(a)
-	if !ok || c.Dim(head) != c.Dim(a)+1 {
-		return
-	}
 	var fb [6]int
-	for _, next := range c.Facets(head, fb[:0]) {
-		if next != a {
-			emit(next)
+	roots := c.Facets(start, fb[:0])
+	r0, r1 := roots[0], roots[1]
+	v0, v1 := t.f.VertexID(r0), t.f.VertexID(r1)
+	var out startOut
+	if t.term0[v0] != t.term0[v1] {
+		// Disjoint chains: one arc per root, own geometry.
+		geom0, end0 := t.walkChain(start, v0, -1)
+		geom1, end1 := t.walkChain(start, v1, -1)
+		out.emits = append(out.emits,
+			emitRec{terminal: end0, geom: geom0, records: 1},
+			emitRec{terminal: end1, geom: geom1, records: 1})
+		out.steps += int64(len(geom0) + len(geom1))
+		return out
+	}
+	// Both chains reach the same minimum: exactly two V-paths. The
+	// representative geometry restarts at v1 if the walk from v0 passes
+	// through it (the sequential tracer discovered roots first, so the
+	// parent walk stopped there).
+	g, term := t.walkChain(start, v0, v1)
+	records := 2
+	if records > t.maxArcs {
+		records = t.maxArcs
+		out.truncated++
+	}
+	out.emits = append(out.emits, emitRec{terminal: term, geom: g, records: records})
+	out.steps += int64(len(g))
+	return out
+}
+
+// walkChain walks the descending vertex chain from compact vertex v,
+// building the representative geometry for a path that starts at the
+// saddle cell start: [saddle, vertex, pairing edge, vertex, ..., final
+// vertex]. If restart is a non-negative vertex id and the walk reaches
+// it, the geometry restarts there. Returns the geometry and the
+// terminal vertex's cell index.
+func (t *tracer) walkChain(start, v, restart int) ([]grid.Addr, int) {
+	c := t.f.C
+	succ := t.f.Succ0()
+	cells := make([]grid.Addr, 0, 8)
+	cells = append(cells, c.GlobalAddr(start))
+	for {
+		if v == restart {
+			cells = cells[:1]
 		}
+		cell := t.f.VertexCell(v)
+		cells = append(cells, c.GlobalAddr(cell))
+		if succ[v] < 0 {
+			return cells, cell
+		}
+		cells = append(cells, c.GlobalAddr(int(t.f.HeadOf(cell))))
+		v = int(succ[v])
 	}
 }
 
-// traceFrom computes, for critical cell start of dimension d, the exact
-// (saturating) number of descending V-paths to every reachable critical
-// (d-1)-cell, and adds the corresponding arcs. It returns the number of
-// pairs whose arc records were clamped.
-func (t *tracer) traceFrom(start int) int {
+// traceFrom computes, for critical cell start of dimension d ≥ 2, the
+// exact (saturating) number of descending V-paths to every reachable
+// critical (d-1)-cell. These layers are braided DAGs (a tail can have
+// several successors through its head's facets), so pointer jumping
+// does not apply; the per-start DFS and dynamic program of the
+// sequential tracer run unchanged, reading the flat successor array
+// instead of per-cell closures.
+func (t *tracer) traceFrom(start int) startOut {
 	c := t.f.C
-	origin, ok := t.ms.NodeAt(c.GlobalAddr(start))
-	if !ok {
-		panic("mscomplex: tracing from a cell with no node")
-	}
-
 	t.reset()
 
 	// Iterative DFS over tail cells to produce a reverse topological
@@ -169,10 +387,13 @@ func (t *tracer) traceFrom(start int) int {
 	var stack []frame
 	var fb [6]int
 	roots := c.Facets(start, fb[:0])
-	for _, r := range roots {
+	nRoots := len(roots)
+	var rootBuf [6]int
+	copy(rootBuf[:], roots)
+	for _, r := range rootBuf[:nRoots] {
 		t.discover(r, -1)
 	}
-	for _, r := range roots {
+	for _, r := range rootBuf[:nRoots] {
 		if t.visited[r] == t.epoch {
 			continue
 		}
@@ -183,10 +404,14 @@ func (t *tracer) traceFrom(start int) int {
 			if !f.expanded {
 				f.expanded = true
 				if !t.f.IsCritical(f.cell) {
-					t.successors(f.cell, func(n int) {
-						f.next[f.nNext] = n
-						f.nNext++
-					})
+					if head := t.f.HeadOf(f.cell); head >= 0 {
+						for _, nx := range c.Facets(int(head), fb[:0]) {
+							if nx != f.cell {
+								f.next[f.nNext] = nx
+								f.nNext++
+							}
+						}
+					}
 				}
 			}
 			if f.nNext == 0 {
@@ -203,13 +428,14 @@ func (t *tracer) traceFrom(start int) int {
 			}
 		}
 	}
-	t.steps += int64(len(t.order))
+	var out startOut
+	out.steps += int64(len(t.order))
 
 	// Forward dynamic program in topological order (reverse of the
 	// finish order): path counts from start. Duplicate roots cannot
 	// occur (facets are distinct), so each root starts with exactly one
 	// path: the direct step from start.
-	for _, r := range roots {
+	for _, r := range rootBuf[:nRoots] {
 		if t.count[r] < pathCountCap {
 			t.count[r]++
 		}
@@ -220,17 +446,21 @@ func (t *tracer) traceFrom(start int) int {
 		if cnt == 0 || t.f.IsCritical(cell) {
 			continue
 		}
-		t.successors(cell, func(n int) {
-			nc := t.count[n] + cnt
-			if nc > pathCountCap {
-				nc = pathCountCap
+		if head := t.f.HeadOf(cell); head >= 0 {
+			for _, nx := range c.Facets(int(head), fb[:0]) {
+				if nx == cell {
+					continue
+				}
+				nc := t.count[nx] + cnt
+				if nc > pathCountCap {
+					nc = pathCountCap
+				}
+				t.count[nx] = nc
 			}
-			t.count[n] = nc
-		})
+		}
 	}
 
-	// Emit arcs for every reachable critical terminal.
-	truncated := 0
+	// Emit arcs for every reachable critical terminal, in finish order.
 	for _, cell := range t.order {
 		if !t.f.IsCritical(cell) {
 			continue
@@ -239,27 +469,21 @@ func (t *tracer) traceFrom(start int) int {
 		if cnt == 0 {
 			continue
 		}
-		lower, ok := t.ms.NodeAt(c.GlobalAddr(cell))
-		if !ok {
-			panic("mscomplex: critical terminal with no node")
-		}
-		geom := t.ms.AddLeafGeom(t.reconstruct(start, cell))
+		geom := t.reconstruct(start, cell, &out)
 		records := cnt
 		if records > t.maxArcs {
 			records = t.maxArcs
-			truncated++
+			out.truncated++
 		}
-		for k := 0; k < records; k++ {
-			t.ms.AddArc(origin, lower, geom)
-		}
+		out.emits = append(out.emits, emitRec{terminal: cell, geom: geom, records: records})
 	}
-	return truncated
+	return out
 }
 
 // reconstruct builds the representative geometry for the first-discovery
 // path start → terminal: alternating (head, tail) cells ending at the
 // terminal, starting at the origin cell.
-func (t *tracer) reconstruct(start, terminal int) []grid.Addr {
+func (t *tracer) reconstruct(start, terminal int, out *startOut) []grid.Addr {
 	c := t.f.C
 	// Walk parents from terminal back to a root facet.
 	var rev []int
@@ -273,12 +497,11 @@ func (t *tracer) reconstruct(start, terminal int) []grid.Addr {
 		cells = append(cells, c.GlobalAddr(tail))
 		if i > 0 {
 			// The head through which the path continues from tail.
-			head, ok := t.f.PairedWith(tail)
-			if ok && c.Dim(head) == c.Dim(tail)+1 {
-				cells = append(cells, c.GlobalAddr(head))
+			if head := t.f.HeadOf(tail); head >= 0 {
+				cells = append(cells, c.GlobalAddr(int(head)))
 			}
 		}
 	}
-	t.steps += int64(len(cells))
+	out.steps += int64(len(cells))
 	return cells
 }

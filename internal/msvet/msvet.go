@@ -75,6 +75,7 @@ func Analyzers() []*Analyzer {
 		RawframeAnalyzer,
 		SpanbalanceAnalyzer,
 		OwnerAnalyzer,
+		KernelAnalyzer,
 	}
 }
 

@@ -81,6 +81,27 @@ func TestOwnerFixture(t *testing.T) {
 	checkFixture(t, "owner", "parms/internal/pipeline", []*Analyzer{OwnerAnalyzer}, false)
 }
 
+func TestKernelFixture(t *testing.T) {
+	checkFixture(t, "kernel", "parms/internal/gradient", []*Analyzer{KernelAnalyzer}, false)
+}
+
+func TestKernelSkipsColdPackages(t *testing.T) {
+	// The same fixture outside the hot kernel packages must be silent:
+	// a *Kernel-named helper elsewhere is not a hot sweep loop.
+	l := fixtureLoader(t)
+	p, err := l.LoadDir(filepath.Join("testdata", "kernel"), "parms/internal/merge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(p, []*Analyzer{KernelAnalyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("kernel ran outside the kernel packages: %v", findings)
+	}
+}
+
 func TestOwnerExemptInGridPackage(t *testing.T) {
 	// The same fixture under the grid path must be silent: the block-
 	// cyclic helpers' home package (and its tests) may call them freely.
@@ -178,7 +199,7 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerMetadata keeps names and docs wired: names are the allow
 // grammar's vocabulary, so they must be stable and non-empty.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance", "owner"}
+	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance", "owner", "kernel"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,78 @@
+// Fixture for the kernel analyzer: per-element allocation and closure
+// creation inside hot loops of *Kernel-named functions, next to the
+// sanctioned per-chunk-scratch idiom. The harness type-checks this
+// under a kernel-package path.
+package kernelfix
+
+// sink defeats trivial dead-code elimination in the fixture.
+var sink interface{}
+
+func badMakeKernel(dst []int32, n int) {
+	for i := 0; i < n; i++ {
+		tmp := make([]int32, 4) // want `kernel: make inside a hot loop of badMakeKernel allocates per element`
+		dst[i] = tmp[0]
+	}
+}
+
+func badAppendKernel(dst [][]int32, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = append(dst[i], int32(i)) // want `kernel: append inside a hot loop of badAppendKernel allocates per element`
+	}
+}
+
+func badNewKernel(n int) {
+	for i := 0; i < n; i++ {
+		sink = new(int64) // want `kernel: new inside a hot loop of badNewKernel allocates per element`
+	}
+}
+
+func badClosureKernel(dst []int32, n int) {
+	for i := 0; i < n; i++ {
+		f := func() int32 { return int32(i) } // want `kernel: func literal inside a hot loop of badClosureKernel forces captured variables to the heap`
+		dst[i] = f()
+	}
+}
+
+type point struct{ x, y int32 }
+
+func badCompositeKernel(dst []interface{}, vals []int32) {
+	for i, v := range vals {
+		dst[i] = point{x: v, y: v} // want `kernel: composite literal inside a hot loop of badCompositeKernel allocates per element`
+	}
+}
+
+// badChunkBodyKernel mirrors the real shape: the chunk closure handed
+// to a pool is legal, but a per-element allocation inside its loop is
+// the exact bug class this analyzer exists for.
+func badChunkBodyKernel(dst []int32, run func(func(lo, hi int))) {
+	run(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf := make([]int32, 1) // want `kernel: make inside a hot loop of badChunkBodyKernel allocates per element`
+			dst[i] = buf[0]
+		}
+	})
+}
+
+// goodHoistedKernel is the sanctioned idiom: scratch sized once per
+// chunk, above the loop, reused by every iteration.
+func goodHoistedKernel(dst []int32, run func(func(lo, hi int))) {
+	run(func(lo, hi int) {
+		var buf [8]int32
+		tmp := make([]int32, 16)
+		for i := lo; i < hi; i++ {
+			buf[0] = int32(i)
+			tmp[0] = buf[0]
+			dst[i] = tmp[0]
+		}
+	})
+}
+
+// goodOrdinaryLoop is outside the naming contract: ordinary functions
+// may allocate in loops freely.
+func goodOrdinaryLoop(n int) [][]int32 {
+	var out [][]int32
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int32, i))
+	}
+	return out
+}

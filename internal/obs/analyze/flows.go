@@ -83,15 +83,18 @@ func (a *analysis) commStragglers() []Straggler {
 	return out
 }
 
-// tilingSpan reports whether a span name is a stage/round container
-// rather than a unit of work — containers tile the whole timeline and
-// would shadow the leaves on a critical-path segment.
+// tilingSpan reports whether a span contributes no critical-path step
+// of its own: stage/round containers, which tile the whole timeline
+// and would shadow the leaves, and kernel:* sub-steps, which nest
+// inside a block compute span and would double-count it (and overlap
+// their parent, breaking the path's end-time monotonicity).
 func tilingSpan(name string) bool {
 	switch name {
 	case "read", "compute", "merge", "write":
 		return true
 	}
-	return strings.HasPrefix(name, "sync:") || strings.HasPrefix(name, "round:")
+	return strings.HasPrefix(name, "sync:") || strings.HasPrefix(name, "round:") ||
+		strings.HasPrefix(name, "kernel:")
 }
 
 // stepKind maps a leaf span name onto the PathStep kind vocabulary.

@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"parms/internal/fault"
+	"parms/internal/grid"
+	"parms/internal/synth"
+)
+
+// TestChaosPooledWorkers re-runs the headline fault drill with the
+// intra-rank worker pool enabled: every rank's compute stage dispatches
+// its kernels over 4 workers while a crash, a dropped payload and a
+// corrupted payload are injected. The drill exercises the pool under
+// the race detector (the race CI job runs this file with -race) and
+// pins that recovery accounting and the final complex are identical to
+// the sequential drill — faults and parallel kernels must compose.
+func TestChaosPooledWorkers(t *testing.T) {
+	vol := synth.Sinusoid(33, 4)
+	params := Params{
+		File: "vol", Dims: vol.Dims, DType: grid.F32,
+		Blocks: 64, Radices: []int{8, 8}, Persistence: 0.1,
+		Workers: 4,
+	}
+	plan := func() *fault.Plan {
+		return fault.NewPlan(42).
+			CrashRank(5, "compute").
+			DropMessage(3, 0, 1).
+			CorruptMessage(6, 0, 1)
+	}
+
+	_, pooled, err := runChaos(t, 64, plan(), 0, params, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqParams := params
+	seqParams.Workers = 1
+	_, seq, err := runChaos(t, 64, plan(), 0, seqParams, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pooled.Nodes != seq.Nodes {
+		t.Errorf("pooled drill nodes %v, sequential drill %v", pooled.Nodes, seq.Nodes)
+	}
+	if pooled.Arcs != seq.Arcs {
+		t.Errorf("pooled drill arcs %d, sequential drill %d", pooled.Arcs, seq.Arcs)
+	}
+	pr, sr := pooled.FaultReport, seq.FaultReport
+	if pr.RankCrashes != sr.RankCrashes || pr.Timeouts != sr.Timeouts ||
+		pr.Corruptions != sr.Corruptions || pr.Recomputes != sr.Recomputes {
+		t.Errorf("recovery accounting diverged: pooled %+v, sequential %+v", pr, sr)
+	}
+	if fmt.Sprint(pr.RecoveredBlocks) != fmt.Sprint(sr.RecoveredBlocks) {
+		t.Errorf("recovered blocks diverged: pooled %v, sequential %v",
+			pr.RecoveredBlocks, sr.RecoveredBlocks)
+	}
+}

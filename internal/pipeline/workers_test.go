@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"parms/internal/grid"
+	"parms/internal/merge"
+	"parms/internal/synth"
+)
+
+// matrixParam reads a CI matrix dimension from the environment,
+// falling back to def for local runs.
+func matrixParam(t *testing.T, name string, def int) int {
+	t.Helper()
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		t.Fatalf("bad %s=%q", name, s)
+	}
+	return v
+}
+
+// TestPipelineWorkers is the end-to-end arm of the worker-pool
+// equivalence contract: the full pipeline — read, pooled compute,
+// merge, write — must produce a byte-identical output file whether the
+// kernels run sequentially or on a pool. The CI test matrix drives it
+// across workers × procs via PARMS_TEST_WORKERS / PARMS_TEST_PROCS;
+// locally it runs the {4 workers, 8 ranks} point.
+func TestPipelineWorkers(t *testing.T) {
+	workers := matrixParam(t, "PARMS_TEST_WORKERS", 4)
+	procs := matrixParam(t, "PARMS_TEST_PROCS", 8)
+
+	vol := synth.Sinusoid(33, 4)
+	sched := merge.Full(procs)
+	run := func(w int) ([]byte, *Result) {
+		c, res := runPipeline(t, procs, Params{
+			File: "vol", Dims: vol.Dims, DType: grid.F32,
+			Radices: sched.Radices, Persistence: 0.1,
+			Workers: w,
+		}, vol)
+		out, err := c.FS().Get("vol.msc")
+		if err != nil {
+			t.Fatalf("workers=%d: read output: %v", w, err)
+		}
+		return out, res
+	}
+
+	seqOut, seqRes := run(1)
+	poolOut, poolRes := run(workers)
+
+	if !bytes.Equal(seqOut, poolOut) {
+		t.Errorf("procs=%d: output file differs between workers=1 (%d bytes) and workers=%d (%d bytes)",
+			procs, len(seqOut), workers, len(poolOut))
+	}
+	if seqRes.Nodes != poolRes.Nodes {
+		t.Errorf("procs=%d: nodes %v (workers=1) vs %v (workers=%d)",
+			procs, seqRes.Nodes, poolRes.Nodes, workers)
+	}
+	if seqRes.Arcs != poolRes.Arcs {
+		t.Errorf("procs=%d: arcs %d (workers=1) vs %d (workers=%d)",
+			procs, seqRes.Arcs, poolRes.Arcs, workers)
+	}
+	if seqRes.BytesSent != poolRes.BytesSent {
+		t.Errorf("procs=%d: bytes sent %d (workers=1) vs %d (workers=%d)",
+			procs, seqRes.BytesSent, poolRes.BytesSent, workers)
+	}
+}

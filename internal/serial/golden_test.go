@@ -1,0 +1,62 @@
+package serial
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"parms/internal/cube"
+	"parms/internal/gradient"
+	"parms/internal/grid"
+	"parms/internal/mscomplex"
+	"parms/internal/synth"
+)
+
+// The golden hashes pin the exact serialized bytes of the unsimplified
+// MS complex (and the raw gradient state bytes) on the two fixture
+// volumes. They were captured from the pre-kernel sequential tracer, so
+// any drift in pairing decisions, arc multiplicities, geometry, or
+// emission order — however the compute stage is parallelized — fails
+// here first.
+
+func goldenField(t *testing.T, vol *grid.Volume) (*gradient.Field, string, string) {
+	t.Helper()
+	block := grid.Block{
+		ID: 0,
+		Lo: [3]int{0, 0, 0},
+		Hi: [3]int{vol.Dims[0] - 1, vol.Dims[1] - 1, vol.Dims[2] - 1},
+	}
+	f := gradient.Compute(cube.New(vol.Dims, block, vol), nil)
+	state := make([]byte, f.C.NumCells())
+	for i := range state {
+		state[i] = f.StateByte(i)
+	}
+	gh := sha256.Sum256(state)
+	ms := mscomplex.FromField(f, nil, mscomplex.TraceOptions{}).Complex
+	mh := sha256.Sum256(ms.Serialize())
+	return f, hex.EncodeToString(gh[:]), hex.EncodeToString(mh[:])
+}
+
+func TestGoldenSinusoid(t *testing.T) {
+	_, gradHash, msHash := goldenField(t, synth.Sinusoid(33, 4))
+	const wantGrad = "6847ccde79d7087b4352c911e1e1406460f4190731b2518b5d1f8507e265eb0a"
+	const wantMS = "0f6a1d9e4a8c2a2146198610988487b9b1ac079ae4d5455b2c99fb9618266461"
+	if gradHash != wantGrad {
+		t.Errorf("sinusoid gradient state hash drifted:\n got %s\nwant %s", gradHash, wantGrad)
+	}
+	if msHash != wantMS {
+		t.Errorf("sinusoid complex hash drifted:\n got %s\nwant %s", msHash, wantMS)
+	}
+}
+
+func TestGoldenTorus(t *testing.T) {
+	_, gradHash, msHash := goldenField(t, synth.Torus(33))
+	const wantGrad = "0f2e71ba4caa9dec847d8eda7f9431daf61caa4749a4ab04afbc0dcb4a68ef14"
+	const wantMS = "390f7b6433d4fb7a88aafbe8359d5fd07107d1886978b5d21599a72241c7a053"
+	if gradHash != wantGrad {
+		t.Errorf("torus gradient state hash drifted:\n got %s\nwant %s", gradHash, wantGrad)
+	}
+	if msHash != wantMS {
+		t.Errorf("torus complex hash drifted:\n got %s\nwant %s", msHash, wantMS)
+	}
+}

@@ -62,6 +62,33 @@ func Ramp(dims grid.Dims) *grid.Volume {
 	return v
 }
 
+// Torus generates the signed distance field of a solid torus centred in
+// an n³ grid (major radius 0.3 and minor radius 0.12 of the domain),
+// modulated by a gentle angular ripple so the level sets carry a
+// handful of saddles in deterministic positions. Unlike the sinusoid
+// its critical points are sparse and its V-paths long and curved, which
+// exercises the path-compression sweeps on deep chains rather than many
+// shallow ones.
+func Torus(n int) *grid.Volume {
+	dims := grid.Dims{n, n, n}
+	v := grid.NewVolume(dims)
+	for z := 0; z < n; z++ {
+		pz := (float64(z)+0.5)/float64(n) - 0.5
+		for y := 0; y < n; y++ {
+			py := (float64(y)+0.5)/float64(n) - 0.5
+			for x := 0; x < n; x++ {
+				px := (float64(x)+0.5)/float64(n) - 0.5
+				// Distance from the torus ring in the z=0 plane.
+				q := math.Hypot(px, py) - 0.3
+				d := math.Hypot(q, pz) - 0.12
+				ripple := 0.03 * math.Cos(5*math.Atan2(py, px))
+				v.Set(x, y, z, float32(d+ripple))
+			}
+		}
+	}
+	return v
+}
+
 // Random generates uniform noise in [0, 1), seeded; the worst case for
 // critical point counts.
 func Random(dims grid.Dims, seed int64) *grid.Volume {

@@ -99,6 +99,10 @@ type Work struct {
 	// SortedItems counts n·log n contributions from sorting, with the
 	// log factor already folded in by the caller.
 	SortedItems int64
+	// SweepWrites counts pointer writes made by the path-compression
+	// (pointer-jumping) sweeps of the tracer. They are branch-free flat
+	// array updates, far cheaper per element than a PathStep.
+	SweepWrites int64
 }
 
 // Add accumulates o into w.
@@ -111,6 +115,7 @@ func (w *Work) Add(o Work) {
 	w.NodesGlued += o.NodesGlued
 	w.BytesCoded += o.BytesCoded
 	w.SortedItems += o.SortedItems
+	w.SweepWrites += o.SweepWrites
 }
 
 // Machine is a cost-model profile of the target system. All rates are
@@ -128,6 +133,7 @@ type Machine struct {
 	GlueCost   float64 // per node glued
 	CodeCost   float64 // per byte (de)serialized
 	SortCost   float64 // per sorted item (log factor pre-folded)
+	SweepCost  float64 // per pointer-jumping sweep write
 
 	// Network constants.
 	MsgLatency   float64 // end-to-end software latency per message, seconds
@@ -158,6 +164,7 @@ func BlueGeneP() *Machine {
 		GlueCost:   650e-9,
 		CodeCost:   5.5e-9,
 		SortCost:   95e-9,
+		SweepCost:  9e-9,
 
 		MsgLatency:   3.5e-6,
 		HopLatency:   100e-9,
@@ -197,8 +204,38 @@ func (m *Machine) ComputeTime(w Work) Time {
 		float64(w.ArcsTouched)*m.ArcCost +
 		float64(w.NodesGlued)*m.GlueCost +
 		float64(w.BytesCoded)*m.CodeCost +
-		float64(w.SortedItems)*m.SortCost
+		float64(w.SortedItems)*m.SortCost +
+		float64(w.SweepWrites)*m.SweepCost
 	return Time(s)
+}
+
+// SplitParallel splits a work tally into the portion executed by the
+// data-parallel kernels — per-cell batch passes and V-path sweep steps,
+// which scale with the intra-rank worker pool — and the portion that is
+// inherently sequential on a rank (greedy pairing decisions, sorts,
+// cancellations, merge bookkeeping, serialization).
+func SplitParallel(w Work) (par, seq Work) {
+	par = Work{CellsVisited: w.CellsVisited, PathSteps: w.PathSteps, SweepWrites: w.SweepWrites}
+	seq = w
+	seq.CellsVisited = 0
+	seq.PathSteps = 0
+	seq.SweepWrites = 0
+	return par, seq
+}
+
+// ParallelComputeTime converts a work tally into modeled seconds when
+// the data-parallel portion runs on a pool of workers inside the rank.
+// The sequential portion is unaffected (Amdahl's law); workers <= 1
+// reduces exactly to ComputeTime. The model deliberately assumes
+// perfect intra-rank scaling of the kernel portion: the deterministic
+// chunk schedule has no ordering stalls, and modeled time must not
+// depend on the host machine.
+func (m *Machine) ParallelComputeTime(w Work, workers int) Time {
+	if workers <= 1 {
+		return m.ComputeTime(w)
+	}
+	par, seq := SplitParallel(w)
+	return m.ComputeTime(seq) + Time(float64(m.ComputeTime(par))/float64(workers))
 }
 
 // MessageTime returns the modeled transfer time for a message of the

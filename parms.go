@@ -157,6 +157,13 @@ type Options struct {
 	// Measured switches compute timing from the cost model to real
 	// wall-clock time.
 	Measured bool
+	// Workers is the intra-rank worker pool width for the compute-stage
+	// kernels (batch gradient passes, path-compression sweeps, per-
+	// saddle tracing): 1 = sequential, N > 1 = N workers with the
+	// parallel cost model, 0 (auto) = an even share of the host's cores
+	// with the sequential cost model. Output is byte-identical for
+	// every width.
+	Workers int
 	// Faults injects the given fault plan into the run. The pipeline
 	// then runs fault-tolerantly: merge receives are bounded, corrupted
 	// payloads are rejected by checksum, and lost blocks are recovered
@@ -321,6 +328,7 @@ func Compute(vol *Volume, opt Options) (*Result, error) {
 		Persistence:     float32(opt.Persistence * float64(hi-lo)),
 		KeepComplexes:   true,
 		Measured:        opt.Measured,
+		Workers:         opt.Workers,
 		MergeTimeout:    opt.MergeTimeout,
 		CheckpointEvery: opt.CheckpointEvery,
 		CheckpointDir:   opt.CheckpointDir,
@@ -390,6 +398,7 @@ func ComputeInSitu(dims Dims, source func(lo, hi [3]int) *Volume,
 		Persistence:     float32(opt.Persistence * float64(rangeHi-rangeLo)),
 		KeepComplexes:   true,
 		Measured:        opt.Measured,
+		Workers:         opt.Workers,
 		MergeTimeout:    opt.MergeTimeout,
 		CheckpointEvery: opt.CheckpointEvery,
 		CheckpointDir:   opt.CheckpointDir,
