@@ -1,16 +1,20 @@
-// Command msvet is the repo's invariant multichecker: five static
+// Command msvet is the repo's invariant multichecker: the static
 // analyzers that make the determinism and collective-ordering bug
-// classes unrepresentable (DESIGN §11). It loads every non-test package
-// of the module from source — no go command, no network — runs the
-// suite, and exits non-zero when any finding (or a malformed or stale
-// //msvet:allow annotation) survives.
+// classes unrepresentable (DESIGN §11, §16), including the
+// interprocedural SPMD collective-sequence matcher. It loads every
+// non-test package of the module from source — no go command, no
+// network — runs the suite in dependency-parallel waves with a
+// content-hash cache, and exits non-zero when any finding (or a
+// malformed or stale //msvet:allow annotation) survives.
 //
 // Usage:
 //
-//	msvet [-run wallclock,maporder,...] [-list] [packages]
+//	msvet [flags] [packages]
 //
 // Package arguments are import paths or the ./... pattern; with none,
 // the whole module is checked.
+//
+// Exit codes: 0 clean, 1 findings, 2 loader or internal error.
 package main
 
 import (
@@ -18,15 +22,28 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"parms/internal/msvet"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list analyzers and exit")
-	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file ('-' for stdout)")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside findings")
+	nocache := flag.Bool("nocache", false, "disable the content-hash cache")
+	cacheDir := flag.String("cachedir", "", "cache directory (default <module>/.msvet-cache)")
+	stats := flag.Bool("stats", false, "print cache and timing statistics to stderr")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per CPU)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: msvet [-run names] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: msvet [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nAnalyzers:\n")
 		for _, a := range msvet.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -37,16 +54,19 @@ func main() {
 		for _, a := range msvet.Analyzers() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := msvet.Analyzers()
 	full := true
-	if *run != "" {
+	if *runNames != "" {
 		full = false
 		analyzers = nil
-		for _, name := range strings.Split(*run, ",") {
+		for _, name := range strings.Split(*runNames, ",") {
 			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
 			found := false
 			for _, a := range msvet.Analyzers() {
 				if a.Name == name {
@@ -56,18 +76,18 @@ func main() {
 			}
 			if !found {
 				fmt.Fprintf(os.Stderr, "msvet: unknown analyzer %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	modRoot, modPath, err := msvet.ModuleRoot(wd)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	loader := msvet.NewLoader(modRoot, modPath)
 
@@ -81,7 +101,7 @@ func main() {
 		case arg == "./..." || arg == "...":
 			all, err := loader.ModulePackages()
 			if err != nil {
-				fatal(err)
+				return fatal(err)
 			}
 			paths = append(paths, all...)
 		case strings.HasPrefix(arg, "./"):
@@ -96,31 +116,69 @@ func main() {
 		}
 	}
 
-	failed := false
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fatal(err)
+	// Allow hygiene (justification present, annotation still live) is
+	// only decidable when the full suite runs: a subset run cannot tell
+	// a stale annotation from one whose analyzer was not selected.
+	runner := &msvet.Runner{
+		Loader:      loader,
+		Analyzers:   analyzers,
+		CheckAllows: full,
+		Workers:     *workers,
+	}
+	if !*nocache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = msvet.DefaultCacheDir(modRoot)
 		}
-		// Allow hygiene (justification present, annotation still live)
-		// is only decidable when the full suite runs: a subset run
-		// cannot tell a stale annotation from one whose analyzer was
-		// simply not selected.
-		findings, err := msvet.RunPackage(pkg, analyzers, full)
+		cache, err := msvet.NewCache(dir, loader, analyzers, full)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		for _, f := range findings {
-			fmt.Printf("%s\n", f)
-			failed = true
+		runner.Cache = cache
+	}
+
+	start := time.Now()
+	findings, runStats, err := runner.Run(paths)
+	if err != nil {
+		return fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	for _, f := range findings {
+		fmt.Printf("%s\n", f)
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=msvet %s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 		}
 	}
-	if failed {
-		os.Exit(1)
+
+	if *sarifOut != "" {
+		out := os.Stdout
+		if *sarifOut != "-" {
+			fh, err := os.Create(*sarifOut)
+			if err != nil {
+				return fatal(err)
+			}
+			defer fh.Close()
+			out = fh
+		}
+		if err := msvet.WriteSARIF(out, findings, modRoot); err != nil {
+			return fatal(err)
+		}
 	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "msvet: %d packages, %d cache hits, %d analyzed, %.2fs\n",
+			runStats.Packages, runStats.CacheHits, len(runStats.Analyzed), elapsed.Seconds())
+	}
+
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintf(os.Stderr, "msvet: %v\n", err)
-	os.Exit(2)
+	return 2
 }

@@ -1,0 +1,265 @@
+package msvet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runModule runs the full suite over the module rooted at root, with a
+// fresh loader (so a warm run proves the cache, not the loader, did the
+// work). cacheDir == "" disables the cache.
+func runModule(t *testing.T, root, cacheDir string) ([]Finding, *RunStats) {
+	t.Helper()
+	l := NewLoader(root, "parms")
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Loader: l, Analyzers: Analyzers(), CheckAllows: true}
+	if cacheDir != "" {
+		c, err := NewCache(cacheDir, l, Analyzers(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = c
+	}
+	findings, stats, err := r.Run(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings, stats
+}
+
+// moduleCopy clones the fixture module into a temp dir so cache writes
+// and invalidation edits never touch the repo tree.
+func moduleCopy(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	src, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		w, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(w, in); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// renderFindings flattens findings to their printed form, so equality
+// checks compare exactly what users see.
+func renderFindings(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprint(f)
+	}
+	return out
+}
+
+// TestSeededDeadlockModule is the end-to-end check the issue demands:
+// the self-contained fixture module seeds one collective mismatch that
+// is only visible across two call frames and a package boundary
+// (pipeline.Drive → compute.Stage → compute.ReduceAll), and a full
+// Runner pass over the module must flag exactly that call site.
+func TestSeededDeadlockModule(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats := runModule(t, root, "")
+	if stats.Packages != 3 {
+		t.Fatalf("module has %d packages, want 3", stats.Packages)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the seeded mismatch: %v", len(findings), renderFindings(findings))
+	}
+	f := findings[0]
+	if f.Analyzer != "spmd" {
+		t.Errorf("finding analyzer = %q, want spmd", f.Analyzer)
+	}
+	if !strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), "internal/pipeline/pipeline.go") {
+		t.Errorf("finding at %s, want the pipeline call site", f.Pos.Filename)
+	}
+	if !strings.Contains(f.Message, "call to Stage selects between mismatched collective sequences") {
+		t.Errorf("finding message %q does not name the cross-call divergence", f.Message)
+	}
+}
+
+// TestCacheColdWarm checks the cache contract: a warm run replays every
+// package without analysis and reproduces the cold run's findings
+// byte for byte.
+func TestCacheColdWarm(t *testing.T) {
+	root := moduleCopy(t)
+	cacheDir := filepath.Join(root, ".msvet-cache")
+
+	cold, coldStats := runModule(t, root, cacheDir)
+	if coldStats.CacheHits != 0 || len(coldStats.Analyzed) != 3 {
+		t.Fatalf("cold run: %d hits, analyzed %v; want 0 hits, 3 analyzed", coldStats.CacheHits, coldStats.Analyzed)
+	}
+
+	warm, warmStats := runModule(t, root, cacheDir)
+	if warmStats.CacheHits != 3 || len(warmStats.Analyzed) != 0 {
+		t.Fatalf("warm run: %d hits, analyzed %v; want 3 hits, 0 analyzed", warmStats.CacheHits, warmStats.Analyzed)
+	}
+	if !reflect.DeepEqual(renderFindings(cold), renderFindings(warm)) {
+		t.Fatalf("warm findings differ from cold:\ncold: %v\nwarm: %v", renderFindings(cold), renderFindings(warm))
+	}
+}
+
+// TestCacheInvalidation edits one file and checks the blast radius:
+// only the edited package and its reverse dependencies re-analyze, the
+// rest replay, and a semantics-preserving edit leaves the findings
+// identical.
+func TestCacheInvalidation(t *testing.T) {
+	root := moduleCopy(t)
+	cacheDir := filepath.Join(root, ".msvet-cache")
+	cold, _ := runModule(t, root, cacheDir)
+
+	target := filepath.Join(root, "internal", "compute", "compute.go")
+	fh, err := os.OpenFile(target, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteString("\n// cache probe: content hash changes, semantics do not\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, stats := runModule(t, root, cacheDir)
+	wantAnalyzed := []string{"parms/internal/compute", "parms/internal/pipeline"}
+	if !reflect.DeepEqual(stats.Analyzed, wantAnalyzed) {
+		t.Errorf("analyzed %v after editing compute, want %v (edited package plus reverse deps)", stats.Analyzed, wantAnalyzed)
+	}
+	if stats.CacheHits != 1 {
+		t.Errorf("cache hits = %d after editing compute, want 1 (mpsim untouched)", stats.CacheHits)
+	}
+	if !reflect.DeepEqual(renderFindings(cold), renderFindings(findings)) {
+		t.Errorf("comment-only edit changed findings:\nbefore: %v\nafter:  %v", renderFindings(cold), renderFindings(findings))
+	}
+}
+
+// TestCacheConcurrent runs two full passes over one shared cache
+// directory at once; under -race this is the write-contention check
+// (temp-file + rename keeps entries atomic), and both runs must agree.
+func TestCacheConcurrent(t *testing.T) {
+	root := moduleCopy(t)
+	cacheDir := filepath.Join(root, ".msvet-cache")
+
+	var wg sync.WaitGroup
+	results := make([][]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			findings, _ := runModule(t, root, cacheDir)
+			results[i] = renderFindings(findings)
+		}(i)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("concurrent runs disagree:\n%v\n%v", results[0], results[1])
+	}
+}
+
+// TestColdWarmRepoSpeedup is the acceptance benchmark as a test: over
+// the real module, a warm cached run must be at least twice as fast as
+// the cold run that filled the cache, with identical findings.
+func TestColdWarmRepoSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, _, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+
+	start := time.Now()
+	cold, coldStats := runModule(t, root, cacheDir)
+	coldTime := time.Since(start)
+
+	start = time.Now()
+	warm, warmStats := runModule(t, root, cacheDir)
+	warmTime := time.Since(start)
+
+	t.Logf("cold %.2fs (%d analyzed), warm %.2fs (%d hits)",
+		coldTime.Seconds(), len(coldStats.Analyzed), warmTime.Seconds(), warmStats.CacheHits)
+	if warmStats.CacheHits != warmStats.Packages {
+		t.Errorf("warm run analyzed %v; every package should replay", warmStats.Analyzed)
+	}
+	if !reflect.DeepEqual(renderFindings(cold), renderFindings(warm)) {
+		t.Fatalf("warm findings differ from cold:\ncold: %v\nwarm: %v", renderFindings(cold), renderFindings(warm))
+	}
+	if 2*warmTime > coldTime {
+		t.Errorf("warm run %.2fs is not ≥2× faster than cold %.2fs", warmTime.Seconds(), coldTime.Seconds())
+	}
+}
+
+// BenchmarkRunRepo is the self-benchmark: one warm cached pass of the
+// full suite over the whole module per iteration (the cache is primed
+// once outside the timer).
+func BenchmarkRunRepo(b *testing.B) {
+	root, _, err := ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cacheDir := b.TempDir()
+	run := func() error {
+		l := NewLoader(root, "parms")
+		paths, err := l.ModulePackages()
+		if err != nil {
+			return err
+		}
+		c, err := NewCache(cacheDir, l, Analyzers(), true)
+		if err != nil {
+			return err
+		}
+		r := &Runner{Loader: l, Analyzers: Analyzers(), CheckAllows: true, Cache: c}
+		_, _, err = r.Run(paths)
+		return err
+	}
+	if err := run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package msvet
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 // collectiveMethods are the mpsim.Rank operations every rank must enter
@@ -33,27 +32,21 @@ var CollectiveAnalyzer = &Analyzer{
 
 func runCollective(pass *Pass) error {
 	funcDecls(pass.Files, func(body *ast.BlockStmt) {
-		tainted := rankTaintedIdents(pass, body)
+		// Rank-dependence comes from the interprocedural taint engine
+		// (taint.go): any value derived from Rank.ID through
+		// assignments, helper returns, struct fields, or implicit
+		// control flow — not just the lexical one-step idiom the first
+		// version of this analyzer recognized.
 		rankDep := func(e ast.Expr) bool {
 			if e == nil {
 				return false
 			}
+			if pass.state != nil {
+				return pass.state.exprMask(e).HasRank()
+			}
 			return containsMatch(e, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					if name, ok := methodOn(pass.Info, n, mpsimPath, "Rank"); ok && name == "ID" {
-						return true
-					}
-				case *ast.SelectorExpr:
-					// The unexported id field, reachable inside mpsim
-					// itself where the same discipline applies.
-					if n.Sel.Name == "id" {
-						if tv, ok := pass.Info.Types[n.X]; ok && typeIsNamed(tv.Type, mpsimPath, "Rank") {
-							return true
-						}
-					}
-				case *ast.Ident:
-					if obj := objOf(pass.Info, n); obj != nil && tainted[obj] {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name, ok := methodOn(pass.Info, call, mpsimPath, "Rank"); ok && name == "ID" {
 						return true
 					}
 				}
@@ -119,41 +112,4 @@ func children(n ast.Node, f func(ast.Node)) {
 		f(c)
 		return false
 	})
-}
-
-// rankTaintedIdents collects objects assigned (directly) from a
-// rank-identity expression in this function: `root := r.ID() == 0`,
-// `id := r.ID()`, and the like. One step of flow covers every idiom in
-// the codebase; deeper laundering still fails at runtime in the chaos
-// suite, this analyzer only makes the common class unrepresentable.
-func rankTaintedIdents(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
-	isRankID := func(e ast.Expr) bool {
-		return containsMatch(e, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return false
-			}
-			name, ok := methodOn(pass.Info, call, mpsimPath, "Rank")
-			return ok && name == "ID"
-		})
-	}
-	tainted := map[types.Object]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		asg, ok := n.(*ast.AssignStmt)
-		if !ok || len(asg.Lhs) != len(asg.Rhs) {
-			return true
-		}
-		for i, rhs := range asg.Rhs {
-			if !isRankID(rhs) {
-				continue
-			}
-			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
-				if obj := objOf(pass.Info, id); obj != nil {
-					tainted[obj] = true
-				}
-			}
-		}
-		return true
-	})
-	return tainted
 }

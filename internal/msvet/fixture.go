@@ -22,9 +22,18 @@ func CheckFixture(l *Loader, dir, pkgPath string, analyzers []*Analyzer, checkAl
 	if err != nil {
 		return nil, err
 	}
-	findings, err := RunPackage(p, analyzers, checkAllows)
+	store := NewFactStore(l.ModPath(), l.Load)
+	findings, err := RunPackage(p, analyzers, checkAllows, store)
 	if err != nil {
 		return nil, err
+	}
+	// Repo-wide verdicts (sendrecv pairing) run over the fixture's
+	// store, which holds the fixture package plus whatever module
+	// packages it pulled in — matching the real driver's shape.
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			findings = append(findings, a.Finish(store)...)
+		}
 	}
 
 	type want struct {

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package ready for analysis.
@@ -29,12 +30,28 @@ type Package struct {
 // Test files are never loaded: the invariants guard the simulated
 // production paths, and the chaos tests legitimately use real time for
 // hang guards.
+//
+// The loader is safe for concurrent use: the parallel runner loads
+// distinct packages from worker goroutines, each under its own
+// per-path entry lock. The shared FileSet is concurrency-safe by
+// contract, and type-checking distinct packages concurrently is safe
+// because imports recurse through Load, which serializes each package
+// behind its entry — the import graph is acyclic, so so is the lock
+// order.
 type Loader struct {
 	Fset    *token.FileSet
 	ctx     build.Context
 	modRoot string
 	modPath string
-	pkgs    map[string]*Package
+	mu      sync.Mutex
+	pkgs    map[string]*loadEntry
+}
+
+type loadEntry struct {
+	mu   sync.Mutex
+	done bool
+	p    *Package
+	err  error
 }
 
 // NewLoader creates a loader rooted at the module directory.
@@ -48,8 +65,25 @@ func NewLoader(modRoot, modPath string) *Loader {
 		ctx:     ctx,
 		modRoot: modRoot,
 		modPath: modPath,
-		pkgs:    map[string]*Package{},
+		pkgs:    map[string]*loadEntry{},
 	}
+}
+
+// ModPath returns the module path the loader is rooted at.
+func (l *Loader) ModPath() string { return l.modPath }
+
+// ModRoot returns the module root directory.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+func (l *Loader) entry(path string) *loadEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.pkgs[path]
+	if e == nil {
+		e = &loadEntry{}
+		l.pkgs[path] = e
+	}
+	return e
 }
 
 // ModuleRoot walks up from dir to the directory holding go.mod and
@@ -118,16 +152,34 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if path == "unsafe" {
 		return &Package{Fset: l.Fset, Pkg: types.Unsafe}, nil
 	}
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
-	}
 	return l.LoadDir(l.dirOf(path), path)
 }
 
 // LoadDir type-checks the package in dir under the given import path
 // and caches it there. Fixture tests use the explicit path to place a
-// testdata directory at an arbitrary point of the package namespace.
+// testdata directory at an arbitrary point of the package namespace;
+// such shadow loads (dir is not the path's canonical directory) bypass
+// the cache, so a fixture that imports the real package it shadows
+// resolves the genuine article instead of deadlocking on its own entry
+// lock, and later Load calls for that path still see the real package.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if canon, err := filepath.Abs(l.dirOf(path)); err == nil {
+		if abs, err := filepath.Abs(dir); err == nil && abs != canon {
+			return l.loadDir(dir, path)
+		}
+	}
+	e := l.entry(path)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return e.p, e.err
+	}
+	e.p, e.err = l.loadDir(dir, path)
+	e.done = true
+	return e.p, e.err
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("msvet: load %s: %w", path, err)
@@ -153,9 +205,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("msvet: check %s: %w", path, err)
 	}
-	p := &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info}
-	l.pkgs[path] = p
-	return p, nil
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
 }
 
 // ModulePackages enumerates the import paths of every non-test package

@@ -42,6 +42,11 @@ type Analyzer struct {
 	Applies func(pkgPath string) bool
 	// Run inspects one package and reports findings through pass.Report.
 	Run func(pass *Pass) error
+	// Finish, if set, runs once after every package has been analyzed
+	// and returns repo-wide findings resolved over the fact store —
+	// verdicts (like send/recv tag pairing) that no single package can
+	// decide.
+	Finish func(store *FactStore) []Finding
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -52,6 +57,24 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Report   func(Diagnostic)
+
+	// state is the package's interprocedural analysis state (taint
+	// environment, collective summaries, pending diagnostics), computed
+	// once per package and shared by every analyzer's pass.
+	state *pkgAnalysis
+	// markAllowed marks the justified //msvet:allow annotation of this
+	// analyzer covering (file, line) as used without reporting anything
+	// — for findings that are suppressed at fact-collection time and
+	// judged repo-wide in Finish.
+	markAllowed func(file string, line int)
+}
+
+// MarkAllowed records that a justified allow annotation covering the
+// line is live, so the stale-annotation check does not flag it.
+func (p *Pass) MarkAllowed(file string, line int) {
+	if p.markAllowed != nil {
+		p.markAllowed(file, line)
+	}
 }
 
 // A Diagnostic is one finding at a source position.
@@ -76,6 +99,8 @@ func Analyzers() []*Analyzer {
 		SpanbalanceAnalyzer,
 		OwnerAnalyzer,
 		KernelAnalyzer,
+		SpmdAnalyzer,
+		SendrecvAnalyzer,
 	}
 }
 
@@ -175,16 +200,19 @@ func (f Finding) String() string {
 // checkAllows is true (the full suite is running), malformed and unused
 // annotations are reported as findings of the pseudo-analyzer
 // "msvet:allow" — drift in the escape hatches fails the build just like
-// a live violation.
-func RunPackage(p *Package, analyzers []*Analyzer, checkAllows bool) ([]Finding, error) {
+// a live violation. The store supplies (and receives) the package's
+// interprocedural facts; it may be nil for analyzers that need none.
+func RunPackage(p *Package, analyzers []*Analyzer, checkAllows bool, store *FactStore) ([]Finding, error) {
 	type allowIndex struct {
 		byLine map[string]map[int]*allowRec
 		all    []*allowRec
 	}
 	allows := map[*ast.File]allowIndex{}
+	fileByName := map[string]*ast.File{}
 	for _, f := range p.Files {
 		byLine, all := parseAllows(p.Fset, f)
 		allows[f] = allowIndex{byLine, all}
+		fileByName[p.Fset.Position(f.Pos()).Filename] = f
 	}
 	fileOf := func(pos token.Pos) *ast.File {
 		for _, f := range p.Files {
@@ -195,17 +223,35 @@ func RunPackage(p *Package, analyzers []*Analyzer, checkAllows bool) ([]Finding,
 		return nil
 	}
 
+	var state *pkgAnalysis
+	if store != nil {
+		var err error
+		state, err = store.EnsureFor(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: facts: %w", p.Pkg.Path(), err)
+		}
+	}
+
 	var findings []Finding
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(p.Pkg.Path()) {
 			continue
 		}
+		a := a
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     p.Fset,
 			Files:    p.Files,
 			Pkg:      p.Pkg,
 			Info:     p.Info,
+			state:    state,
+			markAllowed: func(file string, line int) {
+				if f := fileByName[file]; f != nil {
+					if rec := allows[f].byLine[a.Name][line]; rec != nil && rec.justified {
+						rec.used = true
+					}
+				}
+			},
 		}
 		pass.Report = func(d Diagnostic) {
 			position := p.Fset.Position(d.Pos)

@@ -48,7 +48,7 @@ func TestWallclockSkipsNondeterministicPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunPackage(p, []*Analyzer{WallclockAnalyzer}, false)
+	findings, err := RunPackage(p, []*Analyzer{WallclockAnalyzer}, false, NewFactStore(l.ModPath(), l.Load))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,6 +85,14 @@ func TestKernelFixture(t *testing.T) {
 	checkFixture(t, "kernel", "parms/internal/gradient", []*Analyzer{KernelAnalyzer}, false)
 }
 
+func TestSpmdFixture(t *testing.T) {
+	checkFixture(t, "spmd", "parms/internal/pipeline", []*Analyzer{SpmdAnalyzer}, false)
+}
+
+func TestSendrecvFixture(t *testing.T) {
+	checkFixture(t, "sendrecv", "parms/internal/pipeline", []*Analyzer{SendrecvAnalyzer}, false)
+}
+
 func TestKernelSkipsColdPackages(t *testing.T) {
 	// The same fixture outside the hot kernel packages must be silent:
 	// a *Kernel-named helper elsewhere is not a hot sweep loop.
@@ -93,7 +101,7 @@ func TestKernelSkipsColdPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunPackage(p, []*Analyzer{KernelAnalyzer}, false)
+	findings, err := RunPackage(p, []*Analyzer{KernelAnalyzer}, false, NewFactStore(l.ModPath(), l.Load))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +118,7 @@ func TestOwnerExemptInGridPackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunPackage(p, []*Analyzer{OwnerAnalyzer}, false)
+	findings, err := RunPackage(p, []*Analyzer{OwnerAnalyzer}, false, NewFactStore(l.ModPath(), l.Load))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +133,7 @@ func TestRawframeExemptInFramingPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunPackage(p, []*Analyzer{RawframeAnalyzer}, false)
+	findings, err := RunPackage(p, []*Analyzer{RawframeAnalyzer}, false, NewFactStore(l.ModPath(), l.Load))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +159,7 @@ func TestCleanModule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := RunPackage(p, Analyzers(), true)
+	findings, err := RunPackage(p, Analyzers(), true, NewFactStore(l.ModPath(), l.Load))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,16 +189,25 @@ func TestRepoIsClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("module enumeration found only %d packages: %v", len(paths), paths)
 	}
+	store := NewFactStore(l.ModPath(), l.Load)
 	for _, path := range paths {
 		p, err := l.Load(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		findings, err := RunPackage(p, Analyzers(), true)
+		findings, err := RunPackage(p, Analyzers(), true, store)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+	for _, a := range Analyzers() {
+		if a.Finish == nil {
+			continue
+		}
+		for _, f := range a.Finish(store) {
 			t.Errorf("%s", f)
 		}
 	}
@@ -199,7 +216,7 @@ func TestRepoIsClean(t *testing.T) {
 // TestAnalyzerMetadata keeps names and docs wired: names are the allow
 // grammar's vocabulary, so they must be stable and non-empty.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance", "owner", "kernel"}
+	want := []string{"wallclock", "maporder", "collective", "droppederr", "rawframe", "spanbalance", "owner", "kernel", "spmd", "sendrecv"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,229 @@
+package msvet
+
+// runner.go is the analysis driver: it schedules packages in dependency
+// waves (a package runs only after every module dependency has facts),
+// fans each wave out over the repo's own kernel.Pool, consults the
+// content-hash cache before doing any real work, and finally runs the
+// repo-wide Finish hooks over the completed fact store. This is the
+// one entry point cmd/msvet, the repo-clean test, and the benchmark all
+// share, so their findings are identical by construction.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"parms/internal/kernel"
+)
+
+// A Runner executes the analyzer suite over a set of module packages.
+type Runner struct {
+	Loader      *Loader
+	Analyzers   []*Analyzer
+	CheckAllows bool
+	// Cache, when non-nil, replays unchanged packages' findings and
+	// facts without loading them.
+	Cache *Cache
+	// Workers bounds the per-wave parallelism; 0 means one worker per
+	// logical CPU (kernel.AutoWorkers for a single "rank").
+	Workers int
+}
+
+// RunStats reports what a run actually did, for -stats output and the
+// cache-correctness tests.
+type RunStats struct {
+	Packages  int      // packages requested
+	CacheHits int      // replayed from cache
+	Analyzed  []string // paths that were loaded and analyzed, sorted
+}
+
+// Run analyzes the given module packages and returns the merged,
+// position-sorted findings (per-package analyzers plus Finish hooks).
+func (r *Runner) Run(paths []string) ([]Finding, *RunStats, error) {
+	store := NewFactStore(r.Loader.ModPath(), r.Loader.Load)
+	stats := &RunStats{Packages: len(paths)}
+
+	waves, err := r.waves(paths)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = kernel.AutoWorkers(1)
+	}
+	pool := kernel.New(workers)
+
+	var mu sync.Mutex
+	var findings []Finding
+	var firstErr error
+	for _, wave := range waves {
+		wave := wave
+		pool.Run(len(wave), 1, func(_, _, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				path := wave[i]
+				fs, analyzed, err := r.runOne(path, store)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if !analyzed {
+					stats.CacheHits++
+				} else {
+					stats.Analyzed = append(stats.Analyzed, path)
+				}
+				findings = append(findings, fs...)
+				mu.Unlock()
+			}
+		})
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+	}
+
+	for _, a := range r.Analyzers {
+		if a.Finish != nil {
+			findings = append(findings, a.Finish(store)...)
+		}
+	}
+	sortFindings(findings)
+	sort.Strings(stats.Analyzed)
+	return findings, stats, nil
+}
+
+// runOne analyzes (or replays) one package. analyzed reports whether
+// real work happened.
+func (r *Runner) runOne(path string, store *FactStore) (fs []Finding, analyzed bool, err error) {
+	var key string
+	if r.Cache != nil {
+		key, err = r.Cache.Key(path)
+		if err == nil && key != "" {
+			if e, ok := r.Cache.Get(key); ok {
+				store.AddCached(path, e.Facts)
+				return e.Findings, false, nil
+			}
+		}
+		// An unreadable key (fresh syntax error in a header) falls
+		// through to the real load, which reports it properly.
+		err = nil
+	}
+	p, err := r.Loader.Load(path)
+	if err != nil {
+		return nil, true, err
+	}
+	fs, err = RunPackage(p, r.Analyzers, r.CheckAllows, store)
+	if err != nil {
+		return nil, true, err
+	}
+	if r.Cache != nil && key != "" {
+		if facts := store.factsOf(path); facts != nil {
+			// Best effort: a failed write costs the next run a recompute.
+			_ = r.Cache.Put(key, &CacheEntry{Findings: fs, Facts: facts})
+		}
+	}
+	return fs, true, nil
+}
+
+// waves topologically layers the requested packages: wave k holds the
+// packages whose module dependencies (within the requested set) all sit
+// in earlier waves, so a wave's packages never wait on each other and
+// can run fully parallel.
+func (r *Runner) waves(paths []string) ([][]string, error) {
+	deps, err := r.depGraph(paths)
+	if err != nil {
+		return nil, err
+	}
+	inSet := map[string]bool{}
+	for _, p := range paths {
+		inSet[p] = true
+	}
+	level := map[string]int{}
+	var rank func(p string, visiting map[string]bool) (int, error)
+	rank = func(p string, visiting map[string]bool) (int, error) {
+		if l, ok := level[p]; ok {
+			return l, nil
+		}
+		if visiting[p] {
+			return 0, fmt.Errorf("msvet: import cycle through %s", p)
+		}
+		visiting[p] = true
+		defer delete(visiting, p)
+		l := 0
+		for _, d := range deps[p] {
+			if !inSet[d] {
+				continue
+			}
+			dl, err := rank(d, visiting)
+			if err != nil {
+				return 0, err
+			}
+			if dl+1 > l {
+				l = dl + 1
+			}
+		}
+		level[p] = l
+		return l, nil
+	}
+	maxLevel := 0
+	for _, p := range paths {
+		l, err := rank(p, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	waves := make([][]string, maxLevel+1)
+	for _, p := range paths {
+		waves[level[p]] = append(waves[level[p]], p)
+	}
+	for _, w := range waves {
+		sort.Strings(w)
+	}
+	return waves, nil
+}
+
+// depGraph scans module-internal imports from file headers — through
+// the cache's scanner when present (shared memoization), or a throwaway
+// one otherwise.
+func (r *Runner) depGraph(paths []string) (map[string][]string, error) {
+	c := r.Cache
+	if c == nil {
+		// Header scanning needs no cache directory; a bare scanner with
+		// the same memoization shape does the job.
+		c = &Cache{
+			modRoot: r.Loader.ModRoot(),
+			modPath: r.Loader.ModPath(),
+			ctx:     buildCtxNoCgo(),
+			keys:    map[string]string{},
+			deps:    map[string][]string{},
+			err:     map[string]error{},
+		}
+	}
+	graph := map[string][]string{}
+	for _, p := range paths {
+		deps, err := c.Deps(p)
+		if err != nil {
+			return nil, fmt.Errorf("msvet: scan %s: %w", p, err)
+		}
+		graph[p] = deps
+	}
+	return graph, nil
+}
+
+func sortFindings(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+}

@@ -1,0 +1,122 @@
+package msvet
+
+// sarif.go serializes findings as a minimal SARIF 2.1.0 log, the format
+// CI code-scanning upload actions consume, so msvet findings annotate
+// pull requests inline instead of hiding in a job log. Only the fields
+// the renderers read are emitted; file URIs are module-relative so the
+// log is machine-independent.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes the findings as one SARIF run. modRoot relativizes
+// file paths; rule metadata comes from the analyzer docs (the
+// "msvet:allow" pseudo-analyzer gets a synthetic rule).
+func WriteSARIF(w io.Writer, findings []Finding, modRoot string) error {
+	rules := map[string]bool{}
+	var ruleList []sarifRule
+	addRule := func(name string) {
+		if rules[name] {
+			return
+		}
+		rules[name] = true
+		doc := "msvet finding"
+		if a := byName(name); a != nil {
+			doc = a.Doc
+		} else if name == "msvet:allow" {
+			doc = "malformed, unknown, or stale //msvet:allow annotation"
+		}
+		ruleList = append(ruleList, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		addRule(f.Analyzer)
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "msvet", Rules: ruleList}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

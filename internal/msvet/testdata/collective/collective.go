@@ -71,3 +71,35 @@ func goodSizeBranch(r *mpsim.Rank, n int) {
 		r.Barrier()
 	}
 }
+
+// The rank test hidden behind a helper: the condition is rank-tainted
+// through the helper's summary, not any lexical ID call.
+func isRoot(r *mpsim.Rank) bool {
+	return r.ID() == 0
+}
+
+func badHelperWrapped(r *mpsim.Rank) {
+	if isRoot(r) {
+		r.Barrier() // want `collective: collective Barrier inside a rank-conditional branch`
+	}
+}
+
+// Two frames deep: the flag is computed by one helper and laundered
+// through a second before reaching the branch.
+func lowHalf(r *mpsim.Rank) bool { return r.ID() < r.Size()/2 }
+
+func launder(flag bool) bool { return flag }
+
+func badTwoFrames(r *mpsim.Rank) {
+	if launder(lowHalf(r)) {
+		r.Barrier() // want `collective: collective Barrier inside a rank-conditional branch`
+	}
+}
+
+// The same laundering helper fed a uniform flag stays legal: the
+// callee's taint is parameter-conditional, not unconditional.
+func goodLaundered(r *mpsim.Rank, every bool) {
+	if launder(every) {
+		r.Barrier()
+	}
+}

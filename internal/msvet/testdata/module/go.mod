@@ -1,0 +1,3 @@
+module parms
+
+go 1.22

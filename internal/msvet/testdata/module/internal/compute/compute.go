@@ -1,0 +1,21 @@
+// Package compute holds the helper frames the seeded pipeline calls
+// through: each function is legal on its own — the collective-sequence
+// divergence only becomes visible through their exported summaries at
+// the rank-tainted call site in the pipeline package.
+package compute
+
+import "parms/internal/mpsim"
+
+// ReduceAll is the innermost frame: an unconditional collective.
+func ReduceAll(r *mpsim.Rank, x float64) float64 {
+	return r.AllreduceFloat64(x, "max")
+}
+
+// Stage forwards its flag into the collective decision: its summary is
+// parameter-conditional, so the verdict belongs to the caller.
+func Stage(r *mpsim.Rank, lead bool, x float64) float64 {
+	if lead {
+		return ReduceAll(r, x)
+	}
+	return x
+}

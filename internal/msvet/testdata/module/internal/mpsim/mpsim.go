@@ -1,0 +1,31 @@
+// Package mpsim is a miniature stand-in for the real message-passing
+// substrate: the msvet analyzers key on the import path and the Rank
+// method set, so this stub is exactly enough surface for an end-to-end
+// run of the suite over a self-contained module.
+package mpsim
+
+// Rank is one simulated process of the cluster.
+type Rank struct {
+	id, size int
+}
+
+// ID returns this rank's identity — the root of all rank taint.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the cluster size, uniform across ranks.
+func (r *Rank) Size() int { return r.size }
+
+// Barrier blocks until every rank arrives.
+func (r *Rank) Barrier() {}
+
+// AllreduceFloat64 combines x across ranks; every rank gets the result.
+func (r *Rank) AllreduceFloat64(x float64, op string) float64 { return x }
+
+// Bcast distributes the root's payload to every rank.
+func (r *Rank) Bcast(root int, data []byte) []byte { return data }
+
+// Send posts a tagged message to dst.
+func (r *Rank) Send(dst, tag int, data []byte) {}
+
+// Recv blocks for a message with the given tag.
+func (r *Rank) Recv(src, tag int) ([]byte, int) { return nil, src }

@@ -1,0 +1,16 @@
+// Package pipeline seeds the cross-package SPMD mismatch the
+// end-to-end test expects the spmd analyzer to flag: Drive derives a
+// rank-tainted flag and hands it two call frames down (Stage, then
+// ReduceAll) into a collective only some ranks will enter.
+package pipeline
+
+import (
+	"parms/internal/compute"
+	"parms/internal/mpsim"
+)
+
+// Drive runs one pipeline step; only rank 0 folds the result.
+func Drive(r *mpsim.Rank, x float64) float64 {
+	lead := r.ID() == 0
+	return compute.Stage(r, lead, x)
+}

@@ -1,0 +1,62 @@
+// Fixture for the sendrecv tag matcher: constant Send tags must have a
+// Recv-family site somewhere in the module using the same constant, and
+// vice versa. Matching is by folded constant value (tagWork+1 on one
+// side pairs with the literal on the other); dynamic tags are skipped
+// on both sides, and a justified allow suppresses a deliberate orphan.
+package sendrecv
+
+import "parms/internal/mpsim"
+
+const (
+	tagWork       = 7001
+	tagResult     = 7002
+	tagOrphanSend = 7003
+	tagOrphanRecv = 7004
+	tagHushed     = 7005
+)
+
+// Matched pair: clean on both sides.
+func sendWork(r *mpsim.Rank, dst int, b []byte) {
+	r.Send(dst, tagWork, b)
+}
+
+func recvWork(r *mpsim.Rank, src int) ([]byte, int) {
+	return r.Recv(src, tagWork)
+}
+
+// Constant folding: tagWork+1 here pairs with the tagResult literal
+// on the receive side.
+func sendResult(r *mpsim.Rank, dst int, b []byte) error {
+	return r.TrySend(dst, tagWork+1, b)
+}
+
+func recvResult(r *mpsim.Rank, src int) ([]byte, int, error) {
+	return r.TryRecv(src, tagResult)
+}
+
+// One-sided constants: stranded message, blocked receiver.
+func sendOrphan(r *mpsim.Rank, dst int, b []byte) {
+	r.Send(dst, tagOrphanSend, b) // want `sendrecv: Send\(tag tagOrphanSend\) has no Recv-family site`
+}
+
+func recvOrphan(r *mpsim.Rank, src int) ([]byte, int) {
+	return r.Recv(src, tagOrphanRecv) // want `sendrecv: Recv\(tag tagOrphanRecv\) has no Send site`
+}
+
+// Dynamic tags are out of scope: both sides derive them from the same
+// formula (the merge's tagMergeBase discipline), which value matching
+// cannot check and must not guess about.
+func sendDynamic(r *mpsim.Rank, dst, tag int, b []byte) {
+	r.Send(dst, tag, b)
+}
+
+func recvDynamic(r *mpsim.Rank, src, round int) ([]byte, int) {
+	return r.Recv(src, tagWork+round)
+}
+
+// A deliberate orphan under a justified allow stays silent — and the
+// annotation counts as used, so the allow hygiene pass never reports
+// it stale.
+func sendHushed(r *mpsim.Rank, dst int, b []byte) {
+	r.Send(dst, tagHushed, b) //msvet:allow sendrecv: probe frame consumed by a peer outside the module
+}
